@@ -1,0 +1,162 @@
+(* Benchmark harness.
+
+   Two halves:
+   1. bechamel micro-benchmarks of the compute kernels (bignum arithmetic,
+      CRT vs Garner encoding, the per-packet forwarding decision, the exact
+      Markov analysis, the event engine) — the "design choices" ablations;
+   2. regeneration of every table and figure of the paper (quick profile by
+      default; KAR_PROFILE=paper for the published durations). *)
+
+open Bechamel
+open Toolkit
+
+module Z = Bignum.Z
+
+(* --- inputs shared by the micro-benches --- *)
+
+let big_a = Z.of_string "123456789012345678901234567890123456789012345678901234567890"
+let big_b = Z.of_string "987654321098765432109876543210987654321"
+
+let residues_full =
+  (Kar.Controller.scenario_plan Topo.Nets.net15 Kar.Controller.Full).Kar.Route.residues
+
+let plan_full = Kar.Controller.scenario_plan Topo.Nets.net15 Kar.Controller.Full
+
+let net15 = Topo.Nets.net15
+let rnp = Topo.Nets.rnp28
+
+let port_states_of g v =
+  Array.init (Topo.Graph.degree g v) (fun p ->
+      let link = Topo.Graph.link_at g v p in
+      let far = (Topo.Graph.other_end link v).Topo.Graph.node in
+      { Kar.Policy.up = true; to_host = not (Topo.Graph.is_core g far) })
+
+let sw13_ports = port_states_of net15.Topo.Nets.graph (Topo.Graph.node_of_label net15.Topo.Nets.graph 13)
+
+let fail_links = List.map (fun fc -> fc.Topo.Nets.link) net15.Topo.Nets.failures
+
+let tests =
+  [
+    (* bignum kernels *)
+    Test.make ~name:"bignum/mul-200bit" (Staged.stage (fun () -> Z.mul big_a big_b));
+    Test.make ~name:"bignum/divmod-200bit" (Staged.stage (fun () -> Z.divmod big_a big_b));
+    Test.make ~name:"bignum/egcd-200bit" (Staged.stage (fun () -> Z.egcd big_a big_b));
+    Test.make ~name:"bignum/to_string" (Staged.stage (fun () -> Z.to_string big_a));
+    (* RNS encoding: direct CRT vs Garner (ablation: reconstruction cost) *)
+    Test.make ~name:"rns/encode-crt-10sw"
+      (Staged.stage (fun () -> Rns.encode residues_full));
+    Test.make ~name:"rns/encode-garner-10sw"
+      (Staged.stage (fun () -> Rns.encode_garner residues_full));
+    Test.make ~name:"rns/port (data plane op)"
+      (Staged.stage (fun () -> Rns.port plan_full.Kar.Route.route_id 13));
+    Test.make ~name:"rns/extend-1-residue"
+      (Staged.stage (fun () ->
+           Rns.extend ~route_id:plan_full.Kar.Route.route_id
+             ~modulus:plan_full.Kar.Route.modulus
+             [ { Rns.modulus = 59; value = 1 } ]));
+    (* forwarding decision (per-packet cost of a KAR switch) *)
+    Test.make ~name:"kar/forward-nip"
+      (Staged.stage
+         (let rng = Util.Prng.of_int 9 in
+          let packet =
+            {
+              Kar.Policy.route_id = plan_full.Kar.Route.route_id;
+              in_port = 0;
+              deflected = false;
+            }
+          in
+          fun () ->
+            Kar.Policy.forward Kar.Policy.Not_input_port ~switch_id:13
+              ~ports:sw13_ports ~packet rng));
+    (* exact analysis and Monte Carlo *)
+    Test.make ~name:"kar/markov-net15"
+      (Staged.stage (fun () ->
+           Kar.Markov.analyze net15.Topo.Nets.graph ~plan:plan_full
+             ~policy:Kar.Policy.Not_input_port
+             ~failed:[ List.nth fail_links 1 ]
+             ~src:net15.Topo.Nets.ingress ~dst:net15.Topo.Nets.egress));
+    Test.make ~name:"kar/walk-1000-trials"
+      (Staged.stage (fun () ->
+           Kar.Walk.run net15.Topo.Nets.graph ~plan:plan_full
+             ~policy:Kar.Policy.Not_input_port
+             ~failed:[ List.nth fail_links 1 ]
+             ~src:net15.Topo.Nets.ingress ~dst:net15.Topo.Nets.egress
+             ~trials:1000 ~seed:4 ()));
+    (* route planning *)
+    Test.make ~name:"kar/plan-net15-full"
+      (Staged.stage (fun () -> Kar.Controller.scenario_plan net15 Kar.Controller.Full));
+    Test.make ~name:"kar/plan-rnp-partial"
+      (Staged.stage (fun () -> Kar.Controller.scenario_plan rnp Kar.Controller.Partial));
+    (* event engine throughput *)
+    Test.make ~name:"netsim/engine-1000-events"
+      (Staged.stage (fun () ->
+           let e = Netsim.Engine.create () in
+           for i = 1 to 1000 do
+             ignore (Netsim.Engine.schedule_at e (float_of_int i) (fun () -> ()))
+           done;
+           Netsim.Engine.run e));
+    (* shortest path on the RNP graph *)
+    Test.make ~name:"topo/bfs-rnp"
+      (Staged.stage (fun () ->
+           Topo.Paths.bfs rnp.Topo.Nets.graph rnp.Topo.Nets.ingress));
+  ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let to_rows test =
+    let results = Benchmark.all cfg instances test in
+    let analysis = Analyze.all ols Instance.monotonic_clock results in
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.sprintf "%12.1f" est
+          | Some [] | None -> "n/a"
+        in
+        (name, ns) :: acc)
+      analysis []
+  in
+  let rows =
+    List.concat_map (fun test -> to_rows test) tests
+    |> List.sort Stdlib.compare
+  in
+  print_endline "=== Micro-benchmarks (ns/run, OLS on monotonic clock) ===";
+  print_string
+    (Util.Texttab.render ~header:[ "kernel"; "ns/run" ]
+       (List.map (fun (n, v) -> [ n; v ]) rows));
+  print_newline ()
+
+let run_experiments () =
+  let profile = Experiments.Profile.from_env () in
+  Printf.printf "=== Paper reproduction (profile: %s) ===\n\n" profile.Experiments.Profile.name;
+  print_endline (Experiments.Fig1.to_string ());
+  print_endline (Experiments.Table1.to_string ());
+  print_endline (Experiments.Fig4.to_string ~profile ());
+  print_endline (Experiments.Fig5.to_string ~profile ());
+  print_endline (Experiments.Fig7.to_string ~profile ());
+  print_endline (Experiments.Fig8.to_string ~profile ());
+  print_endline (Experiments.Table2.to_string ());
+  print_endline "=== Beyond the paper ===";
+  print_endline (Experiments.Reaction.compare_to_string ~profile ());
+  print_endline (Experiments.Reaction.detection_to_string ~profile ());
+  print_endline (Experiments.Congestion.to_string ~profile ());
+  print_endline (Experiments.Scaling.to_string ());
+  print_endline (Experiments.Scaling.multipath_to_string ());
+  print_endline (Experiments.Multifailure.to_string ());
+  print_endline "=== Ablations ===";
+  print_endline (Experiments.Ablations.policy_hops_table ());
+  print_endline (Experiments.Ablations.ids_table ());
+  print_endline (Experiments.Ablations.budget_table ());
+  print_endline (Experiments.Ablations.planner_table ());
+  print_endline (Experiments.Ablations.cc_table ~profile ());
+  print_endline (Experiments.Ablations.delivery_table ~profile ())
+
+let () =
+  run_benchmarks ();
+  run_experiments ()

@@ -1,0 +1,103 @@
+(* Command-line entry point: regenerate any of the paper's tables and
+   figures, or the ablations, by name. *)
+
+let experiments : (string * string * (Experiments.Profile.t -> string)) list =
+  [
+    ("fig1", "Section 2 worked example (route IDs 44 and 660)",
+     fun _ -> Experiments.Fig1.to_string ());
+    ("table1", "Table 1: route-ID bit lengths per protection level",
+     fun _ -> Experiments.Table1.to_string ());
+    ("fig4", "Fig. 4: goodput timeline across a failure, per policy",
+     fun p -> Experiments.Fig4.to_string ~profile:p ());
+    ("fig5", "Fig. 5: goodput vs failure x protection x technique",
+     fun p -> Experiments.Fig5.to_string ~profile:p ());
+    ("fig7", "Fig. 7: RNP backbone failures under NIP + partial protection",
+     fun p -> Experiments.Fig7.to_string ~profile:p ());
+    ("fig8", "Fig. 8: redundant-path worst case",
+     fun p -> Experiments.Fig8.to_string ~profile:p ());
+    ("table2", "Table 2: design-space comparison with measured evidence",
+     fun _ -> Experiments.Table2.to_string ());
+    ("hops", "Ablation: exact vs Monte-Carlo walk metrics per policy",
+     fun _ -> Experiments.Ablations.policy_hops_table ());
+    ("ids", "Ablation: switch-ID assignment strategies",
+     fun _ -> Experiments.Ablations.ids_table ());
+    ("budget", "Ablation: protection bit budget vs delivery",
+     fun _ -> Experiments.Ablations.budget_table ());
+    ("planner", "Ablation: distance-ordered vs analysis-guided protection",
+     fun _ -> Experiments.Ablations.planner_table ());
+    ("cc", "Ablation: Reno vs CUBIC under deflection",
+     fun p -> Experiments.Ablations.cc_table ~profile:p ());
+    ("delivery", "Ablation: UDP delivery ratio per policy",
+     fun p -> Experiments.Ablations.delivery_table ~profile:p ());
+    ("schemes", "Beyond the paper: reaction-scheme comparison",
+     fun p -> Experiments.Reaction.compare_to_string ~profile:p ());
+    ("detection", "Beyond the paper: failure-detection sensitivity",
+     fun p -> Experiments.Reaction.detection_to_string ~profile:p ());
+    ("bystander", "Beyond the paper: interference with bystander traffic",
+     fun p -> Experiments.Congestion.to_string ~profile:p ());
+    ("scaling", "Beyond the paper: route-ID bits vs network size",
+     fun _ -> Experiments.Scaling.to_string ());
+    ("multipath", "Beyond the paper: multipath header cost",
+     fun _ -> Experiments.Scaling.multipath_to_string ());
+    ("multifail", "Beyond the paper: simultaneous multiple failures",
+     fun _ -> Experiments.Multifailure.to_string ());
+  ]
+
+let run_one profile name =
+  match List.find_opt (fun (n, _, _) -> n = name) experiments with
+  | None ->
+    Printf.eprintf "unknown experiment %S; try --list\n" name;
+    exit 1
+  | Some (_, _, f) ->
+    print_string (f profile);
+    print_newline ()
+
+open Cmdliner
+
+let names_arg =
+  let doc = "Experiments to run (default: all). Use --list to see ids." in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let list_flag =
+  let doc = "List available experiment ids and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let paper_flag =
+  let doc =
+    "Run with the paper's full durations and repetition counts (slow); the \
+     default is a time-compressed profile with identical mechanisms."
+  in
+  Arg.(value & flag & info [ "paper" ] ~doc)
+
+(* KAR_LOG=info|debug turns on the simulator's log sources (stderr). *)
+let setup_logging () =
+  match Sys.getenv_opt "KAR_LOG" with
+  | Some level ->
+    let level =
+      match level with
+      | "debug" -> Some Logs.Debug
+      | "info" -> Some Logs.Info
+      | _ -> Some Logs.Warning
+    in
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level level
+  | None -> ()
+
+let main names list paper =
+  setup_logging ();
+  if list then
+    List.iter (fun (n, d, _) -> Printf.printf "%-10s %s\n" n d) experiments
+  else begin
+    let profile =
+      if paper then Experiments.Profile.paper else Experiments.Profile.from_env ()
+    in
+    let to_run = match names with [] -> List.map (fun (n, _, _) -> n) experiments | _ -> names in
+    List.iter (run_one profile) to_run
+  end
+
+let cmd =
+  let doc = "Regenerate the KAR paper's tables and figures" in
+  let info = Cmd.info "kar_experiments" ~doc in
+  Cmd.v info Term.(const main $ names_arg $ list_flag $ paper_flag)
+
+let () = exit (Cmd.eval cmd)

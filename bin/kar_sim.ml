@@ -1,0 +1,140 @@
+(* kar_sim: packet-level simulation of a KAR network from the command line.
+
+   Completes the operator workflow: author a topology (kar_route export /
+   Topo.Serial), plan routes (kar_route plan), then watch TCP traffic ride
+   through a failure:
+
+     kar_sim --topo net.kar --src 1001 --dst 1003 \
+             --fail 7:13 --fail-at 3 --fail-for 3 --duration 9 \
+             --policy nip --protect-bits 64 *)
+
+open Cmdliner
+module Graph = Topo.Graph
+
+let policy_conv =
+  Arg.enum
+    (List.map (fun p -> (Kar.Policy.to_string p, p)) Kar.Policy.all)
+
+let link_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ a; b ] ->
+      (try Ok (int_of_string a, int_of_string b)
+       with Failure _ -> Error (`Msg ("bad link " ^ s)))
+    | _ -> Error (`Msg "link must be <labelA>:<labelB>")
+  in
+  Arg.conv (parse, fun ppf (a, b) -> Format.fprintf ppf "%d:%d" a b)
+
+let run topo src_label dst_label policy fail fail_at fail_for duration
+    protect_bits seed =
+  match Topo.Serial.load topo with
+  | Error e -> `Error (false, Format.asprintf "%s: %a" topo Topo.Serial.pp_error e)
+  | Ok g ->
+    (match (Graph.find_label g src_label, Graph.find_label g dst_label) with
+     | Some src, Some dst when not (Graph.is_core g src || Graph.is_core g dst) ->
+       (* plan: shortest route, protection optimized within the budget over
+          the route's own links *)
+       let base = Kar.Controller.route g ~src ~dst ~protection:[] in
+       let failures_for_opt = Topo.Paths.path_links g base.Kar.Route.core_path in
+       let plan =
+         (Kar.Optimizer.optimize g ~plan:base ~policy ~failures:failures_for_opt
+            ~src ~dst ~candidates:[] ~bits:protect_bits
+            ~objective:Kar.Optimizer.Worst_delivery)
+           .Kar.Optimizer.plan
+       in
+       let rev = Kar.Controller.route g ~src:dst ~dst:src ~protection:[] in
+       Printf.printf "route %s (%d bits, %d residues)\n"
+         (String.concat "->"
+            (List.map (fun v -> string_of_int (Graph.label g v)) plan.Kar.Route.core_path))
+         plan.Kar.Route.bit_length
+         (List.length plan.Kar.Route.residues);
+       (* simulate *)
+       let engine = Netsim.Engine.create () in
+       let net = Netsim.Net.create ~graph:g ~engine () in
+       Netsim.Karnet.install_switches net ~policy ~seed;
+       let stack = Tcp.Stack.create ~net () in
+       let sampler = Tcp.Sampler.create ~bin_s:(duration /. 24.0) () in
+       let flow =
+         Tcp.Flow.start ~net ~id:1 ~src ~dst ~fwd_route:plan.Kar.Route.route_id
+           ~rev_route:rev.Kar.Route.route_id ~sampler ()
+       in
+       Tcp.Stack.register stack flow;
+       (match fail with
+        | Some (a, b) ->
+          (match
+             (try Some (Graph.link_between_labels g a b) with Not_found -> None)
+           with
+           | Some link ->
+             Netsim.Net.schedule_failure net link ~at:fail_at ~duration:fail_for
+           | None ->
+             Printf.eprintf "warning: SW%d-SW%d is not a link; no failure scheduled\n" a b)
+        | None -> ());
+       Netsim.Engine.run_until engine duration;
+       Tcp.Flow.stop flow;
+       let series = Tcp.Sampler.series_mbps sampler ~until:duration in
+       Printf.printf "goodput: %s\n" (Util.Texttab.spark series);
+       List.iteri
+         (fun i v ->
+           if i mod 4 = 0 then
+             Printf.printf "  t=%5.2fs  %8.2f Mb/s\n"
+               (float_of_int i *. duration /. 24.0) v)
+         series;
+       let st = Tcp.Flow.stats flow in
+       let ns = Netsim.Net.stats net in
+       Printf.printf
+         "flow: %d segments, %d retransmissions (%d spurious), %d timeouts\n"
+         st.Tcp.Flow.segments_sent st.Tcp.Flow.retransmissions
+         st.Tcp.Flow.spurious_rexmits st.Tcp.Flow.timeouts;
+       Printf.printf "network: %d deflections, %d re-encodes, %d drops\n"
+         ns.Netsim.Net.deflections ns.Netsim.Net.reencodes
+         (ns.Netsim.Net.dropped_link_down + ns.Netsim.Net.dropped_queue_full
+        + ns.Netsim.Net.dropped_no_route + ns.Netsim.Net.dropped_ttl);
+       `Ok ()
+     | Some _, Some _ -> `Error (false, "src and dst must be edge nodes")
+     | _ -> `Error (false, "unknown src or dst label"))
+
+let cmd =
+  let topo =
+    Arg.(required & opt (some file) None & info [ "topo" ] ~docv:"FILE"
+           ~doc:"Topology file (Topo.Serial format).")
+  in
+  let src =
+    Arg.(required & opt (some int) None & info [ "src" ] ~docv:"LABEL"
+           ~doc:"Source edge node label.")
+  in
+  let dst =
+    Arg.(required & opt (some int) None & info [ "dst" ] ~docv:"LABEL"
+           ~doc:"Destination edge node label.")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Kar.Policy.Not_input_port
+         & info [ "policy" ] ~docv:"P" ~doc:"Deflection policy: none|hp|avp|nip.")
+  in
+  let fail =
+    Arg.(value & opt (some link_conv) None & info [ "fail" ] ~docv:"A:B"
+           ~doc:"Link to fail, by node labels.")
+  in
+  let fail_at =
+    Arg.(value & opt float 3.0 & info [ "fail-at" ] ~docv:"S" ~doc:"Failure time.")
+  in
+  let fail_for =
+    Arg.(value & opt float 3.0 & info [ "fail-for" ] ~docv:"S" ~doc:"Failure duration.")
+  in
+  let duration =
+    Arg.(value & opt float 9.0 & info [ "duration" ] ~docv:"S" ~doc:"Total simulated time.")
+  in
+  let protect_bits =
+    Arg.(value & opt int 64 & info [ "protect-bits" ] ~docv:"N"
+           ~doc:"Header budget for optimizer-placed protection (0 = none).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Deflection PRNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "kar_sim" ~doc:"Simulate TCP over a KAR network with a link failure")
+    Term.(
+      ret
+        (const run $ topo $ src $ dst $ policy $ fail $ fail_at $ fail_for
+        $ duration $ protect_bits $ seed))
+
+let () = exit (Cmd.eval cmd)

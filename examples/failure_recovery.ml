@@ -1,0 +1,53 @@
+(* Failure recovery on the 15-node experimental network.
+
+   One bulk TCP flow AS1 -> AS3; the SW7-SW13 link fails mid-transfer and
+   repairs later.  Compare how the four deflection techniques keep (or do
+   not keep) the flow alive — the scenario of the paper's Fig. 4.
+
+   Run with:  dune exec examples/failure_recovery.exe [policy]
+   where policy is one of: none hp avp nip (default: all four). *)
+
+let run policy =
+  let sc = Topo.Nets.net15 in
+  let failure = List.nth sc.Topo.Nets.failures 1 in
+  let config =
+    {
+      Workload.Runner.default_timeline with
+      policy = Workload.Runner.Kar policy;
+      level = Kar.Controller.Full;
+      failure = Some failure;
+      pre_s = 3.0;
+      fail_s = 3.0;
+      post_s = 3.0;
+    }
+  in
+  let r = Workload.Runner.timeline sc config in
+  Printf.printf "\n--- policy %s ---\n" (Kar.Policy.to_string policy);
+  Printf.printf "goodput before/during/after failure: %.1f / %.1f / %.1f Mb/s\n"
+    r.Workload.Runner.mean_pre r.Workload.Runner.mean_fail r.Workload.Runner.mean_post;
+  Printf.printf "timeline: %s\n" (Util.Texttab.spark r.Workload.Runner.series);
+  let f = r.Workload.Runner.flow in
+  Printf.printf
+    "flow: %d segments, %d retransmissions (%d spurious), %d fast \
+     retransmits, %d timeouts, reorder gap up to %d segments\n"
+    f.Tcp.Flow.segments_sent f.Tcp.Flow.retransmissions f.Tcp.Flow.spurious_rexmits
+    f.Tcp.Flow.fast_retransmits f.Tcp.Flow.timeouts f.Tcp.Flow.max_reorder_gap;
+  Printf.printf "network: %d packets deflected, %d edge re-encodes, %d drops\n"
+    r.Workload.Runner.net_deflections r.Workload.Runner.net_reencodes
+    r.Workload.Runner.net_drops
+
+let () =
+  Printf.printf
+    "Failure recovery on net15: SW7-SW13 fails at t=3s for 3s (full \
+     protection)\n";
+  match Sys.argv with
+  | [| _ |] -> List.iter run Kar.Policy.all
+  | [| _; name |] ->
+    (match Kar.Policy.of_string name with
+     | Some p -> run p
+     | None ->
+       Printf.eprintf "unknown policy %S (expected none|hp|avp|nip)\n" name;
+       exit 1)
+  | _ ->
+    Printf.eprintf "usage: %s [none|hp|avp|nip]\n" Sys.argv.(0);
+    exit 1

@@ -1,0 +1,74 @@
+(* The RNP national backbone scenario (paper section 3.2).
+
+   Reconstructs the 28-PoP Brazilian research network, routes a flow from
+   Boa Vista (SW7) to the Sao Paulo hub (SW73) with the partial protection
+   of Fig. 6, and measures goodput under each failure the paper evaluates.
+   Also exports the topology as Graphviz DOT with the primary route
+   highlighted.
+
+   Run with:  dune exec examples/rnp_backbone.exe *)
+
+module Graph = Topo.Graph
+
+let () =
+  let sc = Topo.Nets.rnp28 in
+  let g = sc.Topo.Nets.graph in
+  Printf.printf "RNP backbone: %d PoPs, %d links (paper: 28 PoPs, 40 links)\n"
+    (List.length (Graph.core_nodes g))
+    (List.length
+       (List.filter
+          (fun l ->
+            Graph.is_core g l.Graph.ep0.Graph.node
+            && Graph.is_core g l.Graph.ep1.Graph.node)
+          (Graph.links g)));
+
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Partial in
+  Printf.printf "route %s + protection %s\n"
+    (String.concat "->" (List.map string_of_int sc.Topo.Nets.primary))
+    (String.concat ", "
+       (List.map
+          (fun (a, b) -> Printf.sprintf "%d->%d" a b)
+          sc.Topo.Nets.partial_protection));
+  Printf.printf "route ID: %s (%d bits)\n\n"
+    (Bignum.Z.to_string plan.Kar.Route.route_id)
+    plan.Kar.Route.bit_length;
+
+  (* Goodput per failure case (fresh-connection repetitions). *)
+  let iperf failure =
+    Workload.Runner.iperf_reps sc
+      {
+        Workload.Runner.default_iperf with
+        policy = Workload.Runner.Kar Kar.Policy.Not_input_port;
+        level = Kar.Controller.Partial;
+        failure;
+        reps = 5;
+        rep_duration_s = 3.0;
+      }
+  in
+  let nominal = iperf None in
+  Printf.printf "no failure : %6.1f Mb/s +/- %.1f\n" nominal.Util.Stats.mean
+    nominal.Util.Stats.ci95;
+  List.iter
+    (fun fc ->
+      let s = iperf (Some fc) in
+      let a =
+        Kar.Markov.analyze g ~plan ~policy:Kar.Policy.Not_input_port
+          ~failed:[ fc.Topo.Nets.link ] ~src:sc.Topo.Nets.ingress
+          ~dst:sc.Topo.Nets.egress
+      in
+      Printf.printf
+        "%-11s: %6.1f Mb/s +/- %5.1f  (%+.0f%%; exact: P(del)=%.3f, %.2f \
+         hops vs 4 nominal)\n"
+        fc.Topo.Nets.name s.Util.Stats.mean s.Util.Stats.ci95
+        ((s.Util.Stats.mean -. nominal.Util.Stats.mean)
+        /. nominal.Util.Stats.mean *. 100.0)
+        a.Kar.Markov.p_delivered a.Kar.Markov.expected_hops_delivered)
+    sc.Topo.Nets.failures;
+
+  (* DOT export with the primary route highlighted. *)
+  let primary_nodes = List.map (Graph.node_of_label g) sc.Topo.Nets.primary in
+  let primary_links = Topo.Paths.path_links g primary_nodes in
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "rnp28.dot" in
+  Topo.Dot.write_dot ~highlight_links:primary_links ~highlight_nodes:primary_nodes
+    path g;
+  Printf.printf "\nGraphviz topology written to %s\n" path

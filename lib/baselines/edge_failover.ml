@@ -1,0 +1,27 @@
+module Net = Netsim.Net
+module Engine = Netsim.Engine
+module Graph = Topo.Graph
+module Paths = Topo.Paths
+module Nets = Topo.Nets
+
+let plan_avoiding g plans link =
+  List.find_opt
+    (fun plan ->
+      not (List.mem link (Paths.path_links g plan.Kar.Route.core_path)))
+    plans
+
+let arm net ~plans ~flow ~failure ~at ~duration ~reaction_s =
+  let engine = Net.engine net in
+  Net.schedule_failure net failure.Nets.link ~at ~duration;
+  match plans with
+  | [] -> invalid_arg "Edge_failover.arm: no plans"
+  | primary :: _ ->
+    (match plan_avoiding (Net.graph net) plans failure.Nets.link with
+     | None -> ()
+     | Some backup ->
+       ignore
+         (Engine.schedule_at engine (at +. reaction_s) (fun () ->
+              Tcp.Flow.set_fwd_route flow backup.Kar.Route.route_id)));
+    ignore
+      (Engine.schedule_at engine (at +. duration) (fun () ->
+           Tcp.Flow.set_fwd_route flow primary.Kar.Route.route_id))

@@ -1,0 +1,31 @@
+(** 1+1 ingress failover baseline: the source holds pre-planned
+    edge-disjoint route IDs (via {!Kar.Controller.disjoint_plans}) and
+    switches the flow to a backup as soon as it learns of the failure.
+
+    This sits between KAR's deflections (zero reaction time, in-network)
+    and controller rerouting (full control-plane round trip): the reaction
+    is one failure-detection delay, and only the ingress acts.  KAR's
+    advantage over it is that in-flight packets are saved too, and no
+    per-flow machinery at the edge is needed. *)
+
+module Net = Netsim.Net
+
+(** [arm net ~plans ~flow ~failure ~at ~duration ~reaction_s] schedules the
+    failure window and the ingress reaction: at [at + reaction_s] the flow
+    is re-stamped with the first plan in [plans] whose path avoids the
+    failed link (nothing happens if none does); on repair the original
+    first plan is restored. *)
+val arm :
+  Net.t ->
+  plans:Kar.Route.plan list ->
+  flow:Tcp.Flow.t ->
+  failure:Topo.Nets.failure_case ->
+  at:float ->
+  duration:float ->
+  reaction_s:float ->
+  unit
+
+(** [plan_avoiding g plans link] is the first plan whose core path does not
+    traverse [link] (exposed for tests). *)
+val plan_avoiding :
+  Topo.Graph.t -> Kar.Route.plan list -> Topo.Graph.link_id -> Kar.Route.plan option

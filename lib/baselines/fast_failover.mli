@@ -1,0 +1,30 @@
+(** Stateful fast-failover baseline (OpenFlow 1.3 Fast Failover / MPLS FRR
+    shaped, the paper's Table 2 comparators).
+
+    Each switch holds a per-destination forwarding table with a primary and
+    a precomputed backup output port; on a failed primary it switches
+    locally to the backup with no control-plane round trip.  This is the
+    "failure reaction within the network" alternative KAR argues against:
+    it reacts as fast, but needs per-destination state in every core switch
+    and gives no source control. *)
+
+module Net = Netsim.Net
+module Graph = Topo.Graph
+
+(** [table_size g] is the number of per-switch entries the scheme installs
+    (one per destination edge node) — the statefulness metric reported in
+    the Table 2 reproduction. *)
+val table_size : Graph.t -> int
+
+(** [install net] replaces every core node's handler with the stateful
+    fast-failover forwarder.  Primary ports follow shortest paths; the
+    backup port is the neighbour with the best detour distance to the
+    destination when the primary link is removed (no backup: drop). *)
+val install : Net.t -> unit
+
+(** [hops_between g src dst ~failed] is the hop count the scheme achieves
+    between two edge nodes under the given failed links ([None] when
+    disconnected or black-holed), for analytical comparison against KAR's
+    {!Kar.Markov} results. *)
+val hops_between :
+  Graph.t -> Graph.node -> Graph.node -> failed:Graph.link_id list -> int option

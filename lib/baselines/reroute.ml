@@ -1,0 +1,45 @@
+module Net = Netsim.Net
+module Engine = Netsim.Engine
+module Graph = Topo.Graph
+module Paths = Topo.Paths
+module Nets = Topo.Nets
+
+let reroute_plan sc ~avoiding =
+  let g = sc.Nets.graph in
+  let usable l = l.Graph.id <> avoiding in
+  match Paths.shortest_path g ~usable sc.Nets.ingress sc.Nets.egress with
+  | None -> None
+  | Some path ->
+    (* interior core labels *)
+    let rec interior acc = function
+      | [] | [ _ ] -> List.rev acc
+      | x :: rest -> interior (x :: acc) rest
+    in
+    (match path with
+     | _ :: rest ->
+       let core = interior [] rest in
+       (match core with
+        | [] -> None
+        | _ ->
+          let labels = List.map (Graph.label g) core in
+          (match
+             Kar.Route.of_labels g labels
+               ~egress_label:(Graph.label g sc.Nets.egress)
+           with
+           | Ok plan -> Some plan.Kar.Route.route_id
+           | Error _ -> None))
+     | [] -> None)
+
+let arm net ~scenario ~flow ~failure ~at ~duration ~notification_delay_s =
+  let engine = Net.engine net in
+  Net.schedule_failure net failure.Nets.link ~at ~duration;
+  let original = (Kar.Controller.scenario_plan scenario Kar.Controller.Unprotected).Kar.Route.route_id in
+  (match reroute_plan scenario ~avoiding:failure.Nets.link with
+   | None -> ()
+   | Some detour ->
+     ignore
+       (Engine.schedule_at engine (at +. notification_delay_s) (fun () ->
+            Tcp.Flow.set_fwd_route flow detour)));
+  ignore
+    (Engine.schedule_at engine (at +. duration) (fun () ->
+         Tcp.Flow.set_fwd_route flow original))

@@ -1,0 +1,31 @@
+(** Controller-notification rerouting baseline: the classical SDN reaction
+    the paper's introduction argues is too slow.
+
+    The flow runs unprotected KAR with the {!Kar.Policy.No_deflection}
+    data plane; when a link fails, the controller hears about it after a
+    notification delay, recomputes a route avoiding the failed link, and
+    re-stamps the ingress.  Packets sent between the failure and the
+    re-stamp are lost — exactly the loss window KAR's deflections remove. *)
+
+module Net = Netsim.Net
+
+(** [reroute_plan sc ~avoiding] is the route ID of the shortest
+    ingress-to-egress route that avoids the given link, or [None] when the
+    graph disconnects (exposed for tests and debugging). *)
+val reroute_plan :
+  Topo.Nets.scenario -> avoiding:Topo.Graph.link_id -> Bignum.Z.t option
+
+(** [arm net ~scenario ~flow ~failure ~at ~duration ~notification_delay_s]
+    schedules the failure window on the network and the delayed controller
+    reaction: at [at + notification_delay_s] the flow's forward route is
+    replaced by a shortest route computed without the failed link, and at
+    [at +. duration] (repair) the original route is restored. *)
+val arm :
+  Net.t ->
+  scenario:Topo.Nets.scenario ->
+  flow:Tcp.Flow.t ->
+  failure:Topo.Nets.failure_case ->
+  at:float ->
+  duration:float ->
+  notification_delay_s:float ->
+  unit

@@ -1,0 +1,271 @@
+let limb_bits = 31
+let base = 1 lsl limb_bits
+let mask = base - 1
+let zero = [||]
+let one = [| 1 |]
+let is_zero a = Array.length a = 0
+
+let is_canonical a =
+  let n = Array.length a in
+  let ok = ref (n = 0 || a.(n - 1) <> 0) in
+  for i = 0 to n - 1 do
+    if a.(i) < 0 || a.(i) >= base then ok := false
+  done;
+  !ok
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  if n = 0 then zero
+  else if n < base then [| n |]
+  else begin
+    (* A 63-bit OCaml int needs at most three 31-bit limbs. *)
+    let l0 = n land mask in
+    let l1 = (n lsr limb_bits) land mask in
+    let l2 = n lsr (2 * limb_bits) in
+    normalize [| l0; l1; l2 |]
+  end
+
+let to_int_opt a =
+  match Array.length a with
+  | 0 -> Some 0
+  | 1 -> Some a.(0)
+  | 2 -> Some (a.(0) lor (a.(1) lsl limb_bits))
+  | 3 when a.(2) < 1 lsl (Sys.int_size - 1 - (2 * limb_bits)) ->
+    Some (a.(0) lor (a.(1) lsl limb_bits) lor (a.(2) lsl (2 * limb_bits)))
+  | _ -> None
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  assert (!carry = 0);
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Nat.sub: would be negative";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let d = a.(i) - db - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul_schoolbook a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        (* ai*bj + r + carry <= (B-1)^2 + 2(B-1) = B^2 - 1 = 2^62 - 1: no
+           overflow on 64-bit OCaml ints. *)
+        let t = (ai * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- t land mask;
+        carry := t lsr limb_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    normalize r
+  end
+
+let karatsuba_threshold = 32
+
+(* Split [a] at limb index [k] into (low, high), both canonical. *)
+let split_at a k =
+  let n = Array.length a in
+  if n <= k then (a, zero)
+  else (normalize (Array.sub a 0 k), Array.sub a k (n - k))
+
+let rec mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la < karatsuba_threshold || lb < karatsuba_threshold then
+    mul_schoolbook a b
+  else begin
+    let k = (max la lb + 1) / 2 in
+    let a0, a1 = split_at a k and b0, b1 = split_at b k in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    let shift_limbs x n =
+      if is_zero x then zero
+      else Array.append (Array.make n 0) x
+    in
+    add z0 (add (shift_limbs z1 k) (shift_limbs z2 (2 * k)))
+  end
+
+let shift_left a k =
+  if k < 0 then invalid_arg "Nat.shift_left";
+  if is_zero a || k = 0 then a
+  else begin
+    let limb_shift = k / limb_bits and bit_shift = k mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land mask);
+      r.(i + limb_shift + 1) <- v lsr limb_bits
+    done;
+    normalize r
+  end
+
+let shift_right a k =
+  if k < 0 then invalid_arg "Nat.shift_right";
+  if is_zero a || k = 0 then a
+  else begin
+    let limb_shift = k / limb_bits and bit_shift = k mod limb_bits in
+    let la = Array.length a in
+    if limb_shift >= la then zero
+    else begin
+      let lr = la - limb_shift in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (a.(i + limb_shift + 1) lsl (limb_bits - bit_shift)) land mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+let bit_length a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+  end
+
+let testbit a i =
+  if i < 0 then invalid_arg "Nat.testbit";
+  let limb = i / limb_bits and bit = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr bit) land 1 = 1
+
+(* Division of a canonical magnitude by a single limb [d]; returns the
+   quotient and the remainder limb. *)
+let divmod_limb a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize q, !rem)
+
+(* Knuth TAOCP vol. 2 Algorithm D.  [a] has at least as many limbs as [b],
+   and [b] has >= 2 limbs with a nonzero top limb. *)
+let divmod_knuth a b =
+  let n = Array.length b in
+  (* D1: normalize so that the divisor's top limb has its high bit set. *)
+  let rec leading_shift v acc =
+    if v land (1 lsl (limb_bits - 1)) <> 0 then acc
+    else leading_shift (v lsl 1) (acc + 1)
+  in
+  let s = leading_shift b.(n - 1) 0 in
+  let u0 = shift_left a s and v = shift_left b s in
+  let m = Array.length u0 - n in
+  (* Working copy of the dividend with one extra top limb. *)
+  let u = Array.make (Array.length u0 + 1) 0 in
+  Array.blit u0 0 u 0 (Array.length u0);
+  let q = Array.make (m + 1) 0 in
+  let vtop = v.(n - 1) and vsnd = v.(n - 2) in
+  for j = m downto 0 do
+    (* D3: estimate the quotient digit. *)
+    let num = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+    let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+    let adjust = ref true in
+    while !adjust do
+      if !qhat >= base
+         || !qhat * vsnd > (!rhat lsl limb_bits) lor u.(j + n - 2)
+      then begin
+        decr qhat;
+        rhat := !rhat + vtop;
+        if !rhat >= base then adjust := false
+      end else adjust := false
+    done;
+    (* D4: multiply and subtract. *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr limb_bits;
+      let d = u.(i + j) - (p land mask) - !borrow in
+      if d < 0 then begin
+        u.(i + j) <- d + base;
+        borrow := 1
+      end else begin
+        u.(i + j) <- d;
+        borrow := 0
+      end
+    done;
+    let d = u.(j + n) - !carry - !borrow in
+    (* D5/D6: if the subtraction went negative, add the divisor back. *)
+    if d < 0 then begin
+      u.(j + n) <- d + base;
+      decr qhat;
+      let carry2 = ref 0 in
+      for i = 0 to n - 1 do
+        let sum = u.(i + j) + v.(i) + !carry2 in
+        u.(i + j) <- sum land mask;
+        carry2 := sum lsr limb_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !carry2) land mask
+    end else u.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = shift_right (normalize (Array.sub u 0 n)) s in
+  (normalize q, r)
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_limb a b.(0) in
+    (q, if r = 0 then zero else [| r |])
+  end
+  else divmod_knuth a b

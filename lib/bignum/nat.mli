@@ -1,0 +1,74 @@
+(** Low-level arbitrary-precision natural-number arithmetic.
+
+    A natural number is stored as an [int array] of limbs in little-endian
+    order, base [2^31].  The canonical form has no trailing zero limbs; zero
+    is the empty array.  All functions expect canonical inputs and produce
+    canonical outputs.  This module is the magnitude engine underneath
+    {!Bignum.Z}; most users should use {!Bignum.Z} instead. *)
+
+(** Number of value bits per limb (31). *)
+val limb_bits : int
+
+(** The limb base, [2^31]. *)
+val base : int
+
+(** The canonical representation of zero (the empty array). *)
+val zero : int array
+
+(** The canonical representation of one. *)
+val one : int array
+
+(** [is_zero a] is [true] iff [a] represents zero. *)
+val is_zero : int array -> bool
+
+(** [is_canonical a] checks limb bounds and the absence of trailing zeros.
+    Intended for assertions and tests. *)
+val is_canonical : int array -> bool
+
+(** [normalize a] strips trailing zero limbs (returns a fresh array unless
+    already canonical). *)
+val normalize : int array -> int array
+
+(** [of_int n] converts a non-negative native integer.
+    @raise Invalid_argument if [n < 0]. *)
+val of_int : int -> int array
+
+(** [to_int_opt a] is [Some n] when [a] fits in a native [int]. *)
+val to_int_opt : int array -> int option
+
+(** Total order consistent with numeric value. *)
+val compare : int array -> int array -> int
+
+val equal : int array -> int array -> bool
+
+(** [add a b] is [a + b]. *)
+val add : int array -> int array -> int array
+
+(** [sub a b] is [a - b].
+    @raise Invalid_argument if [a < b]. *)
+val sub : int array -> int array -> int array
+
+(** [mul a b] is [a * b] (schoolbook below {!karatsuba_threshold},
+    Karatsuba above it). *)
+val mul : int array -> int array -> int array
+
+(** Limb-count threshold above which {!mul} switches to Karatsuba. *)
+val karatsuba_threshold : int
+
+(** [divmod a b] is [(q, r)] with [a = q*b + r] and [0 <= r < b]
+    (Knuth Algorithm D).
+    @raise Division_by_zero if [b] is zero. *)
+val divmod : int array -> int array -> int array * int array
+
+(** [shift_left a k] is [a * 2^k].  [k >= 0]. *)
+val shift_left : int array -> int -> int array
+
+(** [shift_right a k] is [a / 2^k] (floor).  [k >= 0]. *)
+val shift_right : int array -> int -> int array
+
+(** [bit_length a] is the position of the highest set bit plus one;
+    [bit_length zero = 0]. *)
+val bit_length : int array -> int
+
+(** [testbit a i] is bit [i] of [a] (false beyond {!bit_length}). *)
+val testbit : int array -> int -> bool

@@ -1,0 +1,113 @@
+(** Arbitrary-precision signed integers.
+
+    This is the arithmetic substrate for KAR route identifiers: a protected
+    route ID is bounded by the product of all switch IDs folded into it
+    (Eq. 1 of the paper), which exceeds the native [int] range as soon as a
+    handful of protection switches are added (Table 1 reports 43 bits for
+    ten switches; larger deployments go past 63 bits).
+
+    Values are immutable.  The API mirrors the part of [zarith] the rest of
+    the repository needs, so the library can be swapped out transparently in
+    environments where [zarith] is available. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** [of_int n] converts a native integer exactly. *)
+val of_int : int -> t
+
+(** [to_int_opt a] is [Some n] iff [a] fits in a native [int]. *)
+val to_int_opt : t -> int option
+
+(** [to_int_exn a] converts, raising [Failure] when out of range. *)
+val to_int_exn : t -> int
+
+(** [sign a] is [-1], [0] or [1]. *)
+val sign : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [divmod a b] is truncated division: [(q, r)] with [a = q*b + r],
+    [|r| < |b|] and [r] carrying the sign of [a] (OCaml's [/] and [mod]
+    convention).
+    @raise Division_by_zero if [b = zero]. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+
+(** [rem a b] is the remainder of truncated division. *)
+val rem : t -> t -> t
+
+(** [erem a b] is the Euclidean remainder: always in [\[0, |b|)].  This is
+    the [<a>_b] operation of the paper (Eq. 5). *)
+val erem : t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val is_zero : t -> bool
+
+(** [shift_left a k] is [a * 2^k] ([a >= 0] required). *)
+val shift_left : t -> int -> t
+
+(** [shift_right a k] is [a / 2^k] (floor; [a >= 0] required). *)
+val shift_right : t -> int -> t
+
+(** [bit_length a] is the bit length of [|a|]; [bit_length zero = 0]. *)
+val bit_length : t -> int
+
+(** [testbit a i] is bit [i] of [|a|]. *)
+val testbit : t -> int -> bool
+
+(** [gcd a b] is the non-negative greatest common divisor;
+    [gcd zero zero = zero]. *)
+val gcd : t -> t -> t
+
+(** [egcd a b] is [(g, u, v)] with [g = gcd a b >= 0] and
+    [a*u + b*v = g] (extended Euclid, Bezout coefficients). *)
+val egcd : t -> t -> t * t * t
+
+(** [invmod a m] is the modular multiplicative inverse of [a] modulo [m]
+    (Eq. 7/8 of the paper), in [\[0, m)], or [None] when
+    [gcd a m <> 1].  Requires [m > 0]. *)
+val invmod : t -> t -> t option
+
+(** [powmod b e m] is [b^e mod m] by square-and-multiply.
+    Requires [e >= 0] and [m > 0]; result in [\[0, m)]. *)
+val powmod : t -> t -> t -> t
+
+(** [pow b k] is [b^k] for [k >= 0]. *)
+val pow : t -> int -> t
+
+(** Decimal rendering, with a leading ['-'] for negatives. *)
+val to_string : t -> string
+
+(** [of_string s] parses an optionally signed decimal string, or a
+    hexadecimal one with a ["0x"] prefix.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Infix and literal-friendly shortcuts: [Z.(~$3 * route + ~$1)]. *)
+val ( ~$ ) : int -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( mod ) : t -> t -> t
+
+(** Product of a list, [one] for the empty list (Eq. 1, the modulus [M]). *)
+val product : t list -> t
+
+val hash : t -> int

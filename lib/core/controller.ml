@@ -1,0 +1,168 @@
+module Graph = Topo.Graph
+module Paths = Topo.Paths
+module Nets = Topo.Nets
+
+type level =
+  | Unprotected
+  | Partial
+  | Full
+
+let all_levels = [ Unprotected; Partial; Full ]
+
+let level_to_string = function
+  | Unprotected -> "unprotected"
+  | Partial -> "partial"
+  | Full -> "full"
+
+let scenario_hops sc level =
+  match level with
+  | Unprotected -> []
+  | Partial -> sc.Nets.partial_protection
+  | Full -> sc.Nets.partial_protection @ sc.Nets.full_protection
+
+let scenario_plan sc level =
+  let g = sc.Nets.graph in
+  let base =
+    Route.of_labels_exn g sc.Nets.primary
+      ~egress_label:(Graph.label g sc.Nets.egress)
+  in
+  Route.protect_exn g base (scenario_hops sc level)
+
+(* The reverse (ACK) route prefers a path edge-disjoint from the forward
+   primary, so that a failure under study disturbs only the direction being
+   measured — the standard bidirectional-resilience arrangement, and the
+   regime the paper's reported sensitivities correspond to.  When no
+   disjoint path exists (e.g. the six-node example), the mirrored primary
+   is used. *)
+let scenario_reverse_plan sc level =
+  let g = sc.Nets.graph in
+  let primary_nodes = List.map (Graph.node_of_label g) sc.Nets.primary in
+  (* Only the primary's core-core links are avoided: the single host
+     uplinks at each end are necessarily shared by both directions. *)
+  let forward_links = Paths.path_links g primary_nodes in
+  let disjoint l = not (List.mem l.Graph.id forward_links) in
+  let reverse_core =
+    match Paths.shortest_path g ~usable:disjoint sc.Nets.egress sc.Nets.ingress with
+    | Some (_ :: rest) ->
+      (* strip both edge endpoints, keep the core interior *)
+      let rec interior acc = function
+        | [] | [ _ ] -> List.rev acc
+        | x :: tl -> interior (x :: acc) tl
+      in
+      let core = interior [] rest in
+      if core = [] then List.rev sc.Nets.primary
+      else List.map (Graph.label g) core
+    | Some [] | None -> List.rev sc.Nets.primary
+  in
+  let base =
+    Route.of_labels_exn g reverse_core
+      ~egress_label:(Graph.label g sc.Nets.ingress)
+  in
+  (* Protect the reverse route with the same member switches, re-rooted
+     toward the reverse destination over links off the reverse path. *)
+  let members =
+    List.filter
+      (fun m -> not (List.mem m reverse_core))
+      (List.map fst (scenario_hops sc level))
+  in
+  let reverse_dest =
+    match List.rev reverse_core with
+    | last :: _ -> Graph.node_of_label g last
+    | [] -> invalid_arg "Controller.scenario_reverse_plan: empty reverse"
+  in
+  let hops = Protection.tree_hops g ~dest:reverse_dest members in
+  let hops = List.filter (fun (s, _) -> not (List.mem s reverse_core)) hops in
+  Route.protect_exn g base hops
+
+(* Paths may only transit core switches: a link incident to an edge node is
+   usable only when that edge node is one of the endpoints (multi-homed
+   hosts in user-supplied topologies must not become transit). *)
+let no_edge_transit g ~src ~dst l =
+  let ok v = Graph.is_core g v || v = src || v = dst in
+  ok l.Graph.ep0.Graph.node && ok l.Graph.ep1.Graph.node
+
+let core_route g ~src ~dst =
+  match Paths.shortest_path g ~usable:(no_edge_transit g ~src ~dst) src dst with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Controller.route: no path between %d and %d" src dst)
+  | Some path ->
+    (match path with
+     | _ :: core_and_dst ->
+       (* strip the src edge; the last element is the dst edge *)
+       let rec split_last acc = function
+         | [ last ] -> (List.rev acc, last)
+         | x :: rest -> split_last (x :: acc) rest
+         | [] -> invalid_arg "Controller.route: degenerate path"
+       in
+       let core, _ = split_last [] core_and_dst in
+       core
+     | [] -> invalid_arg "Controller.route: empty path")
+
+let route g ~src ~dst ~protection =
+  let core = core_route g ~src ~dst in
+  let labels = List.map (Graph.label g) core in
+  let base = Route.of_labels_exn g labels ~egress_label:(Graph.label g dst) in
+  Route.protect_exn g base protection
+
+(* Edge-disjoint route plans between two edge nodes: greedy shortest-path
+   extraction (Topo.Paths.edge_disjoint_paths) over the core, each path
+   encoded unprotected.  The basis for 1+1 edge failover and for the
+   multipath exploration the paper lists as future work. *)
+let disjoint_plans g ~src ~dst ~k =
+  if k <= 0 then invalid_arg "Controller.disjoint_plans: k must be positive";
+  (* Disjointness applies to core-core links only: the single host uplinks
+     at each end are necessarily shared by every plan. *)
+  let used = Hashtbl.create 16 in
+  let usable l =
+    no_edge_transit g ~src ~dst l
+    && ((not (Hashtbl.mem used l.Graph.id))
+       || (not (Graph.is_core g l.Graph.ep0.Graph.node))
+       || not (Graph.is_core g l.Graph.ep1.Graph.node))
+  in
+  let rec collect n acc =
+    if n = 0 then List.rev acc
+    else
+      match Paths.shortest_path g ~usable src dst with
+      | None -> List.rev acc
+      | Some path ->
+        List.iter (fun id -> Hashtbl.replace used id ()) (Paths.path_links g path);
+        collect (n - 1) (path :: acc)
+  in
+  collect k []
+  |> List.filter_map (fun path ->
+         (* strip the edge endpoints *)
+         let rec interior acc = function
+           | [] | [ _ ] -> List.rev acc
+           | x :: rest -> interior (x :: acc) rest
+         in
+         match path with
+         | _ :: rest ->
+           (match interior [] rest with
+            | [] -> None
+            | core ->
+              let labels = List.map (Graph.label g) core in
+              (match
+                 Route.of_labels g labels ~egress_label:(Graph.label g dst)
+               with
+               | Ok plan -> Some plan
+               | Error _ -> None))
+         | [] -> None)
+
+type cache = {
+  graph : Graph.t;
+  plans : (Graph.node * Graph.node, Bignum.Z.t option) Hashtbl.t;
+}
+
+let create_cache graph = { graph; plans = Hashtbl.create 64 }
+
+let reencode cache ~at ~dst =
+  match Hashtbl.find_opt cache.plans (at, dst) with
+  | Some cached -> cached
+  | None ->
+    let result =
+      try Some (route cache.graph ~src:at ~dst ~protection:[]).Route.route_id
+      with Invalid_argument _ -> None
+    in
+    Hashtbl.replace cache.plans (at, dst) result;
+    result

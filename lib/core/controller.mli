@@ -1,0 +1,60 @@
+(** The KAR network controller: the component that knows the topology,
+    assigns protection, computes route IDs for flows, and re-encodes
+    stranded packets (section 2's router component).
+
+    The controller is a pure planning layer over {!Route} and
+    {!Protection}; it holds no per-flow network state (KAR cores are
+    stateless) and — matching the paper's evaluation setup — ignores
+    failure notifications: plans are computed on the failure-free
+    topology. *)
+
+module Graph = Topo.Graph
+
+(** The paper's three protection levels (Table 1, Fig. 5). *)
+type level =
+  | Unprotected
+  | Partial
+  | Full
+
+val all_levels : level list
+val level_to_string : level -> string
+
+(** [scenario_hops sc level] is the protection hop set a scenario uses at
+    [level]: [[]] / the scenario's partial hops / partial plus full. *)
+val scenario_hops : Topo.Nets.scenario -> level -> (int * int) list
+
+(** [scenario_plan sc level] encodes the scenario's forward route (ingress
+    to egress over the primary path) with [level] protection. *)
+val scenario_plan : Topo.Nets.scenario -> level -> Route.plan
+
+(** [scenario_reverse_plan sc level] encodes the route for reverse traffic
+    (ACKs): the reversed primary path, protected by giving the {e same}
+    member switches their tree hop toward the reverse destination. *)
+val scenario_reverse_plan : Topo.Nets.scenario -> level -> Route.plan
+
+(** [route g ~src ~dst ~protection] plans a shortest-path route between two
+    edge nodes and folds in the given protection hops.
+    @raise Invalid_argument when no path exists or encoding fails. *)
+val route : Graph.t -> src:Graph.node -> dst:Graph.node -> protection:(int * int) list -> Route.plan
+
+(** [disjoint_plans g ~src ~dst ~k] plans up to [k] mutually edge-disjoint
+    routes between two edge nodes (greedy shortest-path extraction), each
+    encoded as its own route ID.  This is the substrate for 1+1 ingress
+    failover and for the multipath use the paper lists as future work: the
+    ingress can stripe or switch between the returned route IDs without any
+    core involvement. *)
+val disjoint_plans :
+  Graph.t -> src:Graph.node -> dst:Graph.node -> k:int -> Route.plan list
+
+(** Memoised stranded-packet re-encoding service (the paper's second edge
+    approach: "the controller recalculates the route ID based on the best
+    path from the edge node to the destination").  Plans are computed on
+    the failure-free topology, unprotected, and cached per
+    [(edge, destination)] pair. *)
+type cache
+
+val create_cache : Graph.t -> cache
+
+(** [reencode cache ~at ~dst] is the fresh route ID from edge [at] to edge
+    [dst], or [None] when no path exists or encoding fails. *)
+val reencode : cache -> at:Graph.node -> dst:Graph.node -> Bignum.Z.t option

@@ -1,0 +1,160 @@
+module Graph = Topo.Graph
+module Paths = Topo.Paths
+
+type strategy =
+  | Primes_ascending
+  | Degree_descending
+  | Prime_powers
+  | Random_primes of int
+
+let strategy_to_string = function
+  | Primes_ascending -> "primes-ascending"
+  | Degree_descending -> "degree-descending"
+  | Prime_powers -> "prime-powers"
+  | Random_primes seed -> Printf.sprintf "random-primes(%d)" seed
+
+let is_prime n =
+  if n < 2 then false
+  else begin
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+    go 2
+  end
+
+let primes n =
+  if n < 0 then invalid_arg "Ids.primes: negative count";
+  let rec collect acc found candidate =
+    if found = n then List.rev acc
+    else if is_prime candidate then collect (candidate :: acc) (found + 1) (candidate + 1)
+    else collect acc found (candidate + 1)
+  in
+  collect [] 0 2
+
+(* Prime powers up to [bound], sorted ascending, tagged with their base
+   prime (pairwise coprimality allows at most one value per base). *)
+let prime_power_pool bound =
+  let pool = ref [] in
+  for p = 2 to bound do
+    if is_prime p then begin
+      let v = ref p in
+      while !v <= bound do
+        pool := (!v, p) :: !pool;
+        v := !v * p
+      done
+    end
+  done;
+  List.sort Stdlib.compare !pool
+
+let assign g strategy =
+  let core = Graph.core_nodes g in
+  let edge_labels =
+    List.map (Graph.label g) (Graph.edge_nodes g)
+  in
+  let n_core = List.length core in
+  let order =
+    match strategy with
+    | Primes_ascending | Prime_powers -> core
+    | Degree_descending ->
+      List.sort
+        (fun a b -> Stdlib.compare (Graph.degree g b) (Graph.degree g a))
+        core
+    | Random_primes seed ->
+      let arr = Array.of_list core in
+      Util.Prng.shuffle (Util.Prng.of_int seed) arr;
+      Array.to_list arr
+  in
+  (* Candidate pool: (value, base prime) pairs ascending. *)
+  let pool =
+    match strategy with
+    | Prime_powers -> prime_power_pool (max 64 (16 * n_core))
+    | Primes_ascending | Degree_descending | Random_primes _ ->
+      List.map (fun p -> (p, p)) (primes (max 16 (4 * n_core)))
+  in
+  let used_bases = Hashtbl.create 64 in
+  let used_values = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace used_values l ()) edge_labels;
+  let pick ~min_value =
+    let rec go = function
+      | [] -> failwith "Ids.assign: candidate pool exhausted"
+      | (v, base) :: rest ->
+        if v > min_value && (not (Hashtbl.mem used_bases base))
+           && not (Hashtbl.mem used_values v)
+        then begin
+          Hashtbl.replace used_bases base ();
+          Hashtbl.replace used_values v ();
+          v
+        end
+        else go rest
+    in
+    go pool
+  in
+  let mapping = Array.init (Graph.n_nodes g) (fun v -> Graph.label g v) in
+  List.iter
+    (fun v ->
+      (* strictly greater than the degree so every port is encodable *)
+      mapping.(v) <- pick ~min_value:(max 1 (Graph.degree g v)))
+    order;
+  Graph.relabel g mapping
+
+type issue =
+  | Not_coprime of int * int
+  | Id_too_small of int
+  | Port_unencodable of { id : int; degree : int }
+
+let pp_issue ppf = function
+  | Not_coprime (a, b) -> Format.fprintf ppf "SW%d and SW%d share a factor" a b
+  | Id_too_small id -> Format.fprintf ppf "SW%d: id must exceed 1" id
+  | Port_unencodable { id; degree } ->
+    Format.fprintf ppf "SW%d: degree %d has ports its id cannot encode" id degree
+
+let is_fatal = function
+  | Not_coprime _ | Id_too_small _ -> true
+  | Port_unencodable _ -> false
+
+let validate_issues g =
+  let issues = ref [] in
+  let core = Graph.core_nodes g in
+  List.iter
+    (fun v ->
+      let id = Graph.label g v in
+      if id <= 1 then issues := Id_too_small id :: !issues;
+      if id <= Graph.degree g v - 1 then
+        issues := Port_unencodable { id; degree = Graph.degree g v } :: !issues)
+    core;
+  let rec pairs = function
+    | [] -> ()
+    | v :: rest ->
+      List.iter
+        (fun u ->
+          let a = Graph.label g v and b = Graph.label g u in
+          if not (Rns.coprime a b) then issues := Not_coprime (a, b) :: !issues)
+        rest;
+      pairs rest
+  in
+  pairs core;
+  List.rev !issues
+
+let validate g =
+  List.map (fun i -> Format.asprintf "%a" pp_issue i) (validate_issues g)
+
+let route_bits g labels =
+  ignore g;
+  Rns.bit_length_bound (Rns.modulus_product labels)
+
+let mean_route_bits g ~trials ~seed =
+  if trials <= 0 then invalid_arg "Ids.mean_route_bits: trials must be positive";
+  let rng = Util.Prng.of_int seed in
+  let core = Array.of_list (Graph.core_nodes g) in
+  if Array.length core < 2 then invalid_arg "Ids.mean_route_bits: need two core nodes";
+  let total = ref 0 and counted = ref 0 in
+  while !counted < trials do
+    let a = Util.Prng.choice rng core and b = Util.Prng.choice rng core in
+    if a <> b then begin
+      match Paths.shortest_path g a b with
+      | None -> ()
+      | Some path ->
+        let labels = List.map (Graph.label g) path in
+        total := !total + route_bits g labels;
+        incr counted
+    end
+  done;
+  float_of_int !total /. float_of_int trials

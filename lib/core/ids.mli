@@ -1,0 +1,68 @@
+(** Switch-ID assignment.
+
+    KAR requires core switch IDs to be pairwise coprime, and every encodable
+    output port index must be smaller than its switch's ID (a residue modulo
+    [s] can only name ports [0 .. s-1]).  The choice of IDs drives the
+    route-ID bit length (Eq. 9: bits grow with the product of the IDs on the
+    route), so assignment strategy is a real design knob — exercised by the
+    ablation bench. *)
+
+module Graph = Topo.Graph
+
+type strategy =
+  | Primes_ascending
+      (** nodes in index order take the smallest unused feasible prime *)
+  | Degree_descending
+      (** highest-degree nodes first, smallest feasible prime — hubs appear
+          on many routes, so they get the cheapest IDs *)
+  | Prime_powers
+      (** candidate pool also includes prime powers (4, 8, 9, 25, 27, ...);
+          at most one candidate per base prime keeps pairwise coprimality *)
+  | Random_primes of int (** a seeded random permutation of feasible primes *)
+
+val strategy_to_string : strategy -> string
+
+(** [primes n] is the first [n] primes (sieve). *)
+val primes : int -> int list
+
+val is_prime : int -> bool
+
+(** [assign g strategy] relabels the core nodes of [g]; edge-node labels are
+    preserved.  The result satisfies: pairwise-coprime core labels, every
+    label strictly greater than its node's degree, and no collision with
+    edge labels.
+    @raise Failure if the candidate pool is exhausted (never for sane
+    graphs). *)
+val assign : Graph.t -> strategy -> Graph.t
+
+(** A labelling problem found by {!validate_issues}.  Coprimality
+    violations break forwarding outright; an unencodable port only limits
+    which residues that switch can carry. *)
+type issue =
+  | Not_coprime of int * int (** two core labels sharing a factor *)
+  | Id_too_small of int (** label [<= 1] *)
+  | Port_unencodable of { id : int; degree : int }
+      (** the switch has ports no residue modulo its ID can name *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+(** [is_fatal issue] is [true] for problems that break forwarding
+    ([Not_coprime], [Id_too_small]); [Port_unencodable] is advisory. *)
+val is_fatal : issue -> bool
+
+(** [validate_issues g] checks the KAR labelling invariants on core
+    nodes. *)
+val validate_issues : Graph.t -> issue list
+
+(** [validate g] is {!validate_issues} rendered as strings (empty when
+    valid). *)
+val validate : Graph.t -> string list
+
+(** [route_bits g labels] is the Eq. 9 bit length of a route through the
+    switches [labels] (the cost metric the ablation compares). *)
+val route_bits : Graph.t -> int list -> int
+
+(** [mean_route_bits g ~trials ~seed] draws random connected node pairs,
+    routes them by shortest path, and averages the route-ID bit length —
+    the headline number for comparing strategies. *)
+val mean_route_bits : Graph.t -> trials:int -> seed:int -> float

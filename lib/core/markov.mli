@@ -1,0 +1,45 @@
+(** Exact analysis of deflection walks as an absorbing Markov chain.
+
+    The chain state is the packet's arrival situation [(node, in_port,
+    deflected)]; absorbing states are delivery at the destination edge,
+    stranding at a foreign edge (where the controller would re-encode), and
+    a forwarding drop.  Solving the linear systems gives exact delivery
+    probabilities and expected hop counts — no sampling noise — which both
+    cross-checks the Monte-Carlo walker ({!Walk}) and powers the protection
+    ablation benches (expected hop inflation per policy and protection
+    level). *)
+
+module Graph = Topo.Graph
+
+type analysis = {
+  states : int; (** transient states in the chain *)
+  p_delivered : float;
+  p_stranded : float;
+  p_dropped : float;
+      (** the three absorption probabilities (sum to 1 when every walk
+          terminates; deterministic loops make them sum to less) *)
+  p_loop : float; (** probability mass trapped in deterministic loops *)
+  expected_hops : float;
+      (** expected switch hops to absorption, [infinity] when loops have
+          positive probability *)
+  expected_hops_delivered : float;
+      (** expected hops conditional on delivery; [nan] if undeliverable *)
+}
+
+(** [analyze g ~plan ~policy ~failed ~src ~dst] builds and solves the chain
+    for a packet injected at edge [src] toward edge [dst].
+    @raise Invalid_argument if [src] is not an edge node. *)
+val analyze :
+  Graph.t ->
+  plan:Route.plan ->
+  policy:Policy.t ->
+  failed:Graph.link_id list ->
+  src:Graph.node ->
+  dst:Graph.node ->
+  analysis
+
+(** [solve a b] solves the dense linear system [a x = b] by Gaussian
+    elimination with partial pivoting ([a] is copied, not clobbered).
+    Exposed for tests.
+    @raise Failure on a (numerically) singular system. *)
+val solve : float array array -> float array -> float array

@@ -1,0 +1,102 @@
+module Graph = Topo.Graph
+
+type objective =
+  | Worst_delivery
+  | Mean_delivery
+  | Expected_hops
+
+let objective_to_string = function
+  | Worst_delivery -> "worst-case delivery"
+  | Mean_delivery -> "mean delivery"
+  | Expected_hops -> "expected hops"
+
+type step = {
+  hop : int * int;
+  score_before : float;
+  score_after : float;
+  bits_after : int;
+}
+
+type result = {
+  plan : Route.plan;
+  steps : step list;
+  score : float;
+}
+
+let score g ~plan ~policy ~failures ~src ~dst ~objective =
+  let analyses =
+    List.map
+      (fun link -> Markov.analyze g ~plan ~policy ~failed:[ link ] ~src ~dst)
+      failures
+  in
+  match analyses with
+  | [] -> 1.0
+  | _ ->
+    let deliveries = List.map (fun a -> a.Markov.p_delivered) analyses in
+    (match objective with
+     | Worst_delivery -> List.fold_left Stdlib.min 1.0 deliveries
+     | Mean_delivery ->
+       List.fold_left ( +. ) 0.0 deliveries /. float_of_int (List.length deliveries)
+     | Expected_hops ->
+       (* higher is better: negative hops, with undelivered mass heavily
+          penalised so delivery still dominates *)
+       let total =
+         List.fold_left
+           (fun acc a ->
+             let hops =
+               if Float.is_nan a.Markov.expected_hops_delivered then 1000.0
+               else a.Markov.expected_hops_delivered
+             in
+             acc -. hops -. (1000.0 *. (1.0 -. a.Markov.p_delivered)))
+           0.0 analyses
+       in
+       total /. float_of_int (List.length analyses))
+
+let default_candidates g plan =
+  let dest =
+    match List.rev plan.Route.core_path with
+    | last :: _ -> last
+    | [] -> invalid_arg "Optimizer: empty plan path"
+  in
+  let members = Protection.off_path_members g ~path:plan.Route.core_path ~radius:max_int in
+  Protection.tree_hops g ~dest members
+
+let optimize g ~plan ~policy ~failures ~src ~dst ~candidates ~bits ~objective =
+  let candidates =
+    match candidates with [] -> default_candidates g plan | cs -> cs
+  in
+  let evaluate plan = score g ~plan ~policy ~failures ~src ~dst ~objective in
+  let rec loop plan current steps remaining =
+    (* try every remaining hop; keep the best strict improvement *)
+    let best =
+      List.fold_left
+        (fun best hop ->
+          match Route.protect g plan [ hop ] with
+          | Error _ -> best
+          | Ok candidate ->
+            if candidate.Route.bit_length > bits then best
+            else begin
+              let s = evaluate candidate in
+              match best with
+              | Some (_, _, best_score) when best_score >= s -> best
+              | _ when s > current +. 1e-12 -> Some (hop, candidate, s)
+              | _ -> best
+            end)
+        None remaining
+    in
+    match best with
+    | None -> (plan, current, List.rev steps)
+    | Some (hop, better, s) ->
+      let step =
+        {
+          hop;
+          score_before = current;
+          score_after = s;
+          bits_after = better.Route.bit_length;
+        }
+      in
+      loop better s (step :: steps) (List.filter (fun h -> h <> hop) remaining)
+  in
+  let initial = evaluate plan in
+  let plan, final, steps = loop plan initial [] candidates in
+  { plan; steps; score = final }

@@ -1,0 +1,70 @@
+(** Analysis-guided protection planning.
+
+    {!Protection.select_within_budget} fills a bit budget in
+    distance-from-path order — the natural heuristic, but (as the budget
+    ablation shows) early hops can even {e hurt} when they funnel deflected
+    packets back toward the failure.  This module plans protection using
+    the exact {!Markov} analysis as the objective: each greedy step adds
+    the hop that most improves the chosen objective over a set of failure
+    cases, and steps that do not improve it are skipped rather than
+    blindly included.
+
+    Objectives are evaluated exactly (no sampling), so optimization is
+    deterministic and reproducible. *)
+
+module Graph = Topo.Graph
+
+(** What to optimize, aggregated over the given failure cases. *)
+type objective =
+  | Worst_delivery (** maximize the minimum delivery probability *)
+  | Mean_delivery (** maximize the average delivery probability *)
+  | Expected_hops
+      (** minimize the average expected hop count of delivered packets
+          (ties broken by delivery probability) *)
+
+val objective_to_string : objective -> string
+
+type step = {
+  hop : int * int; (** the protection hop added *)
+  score_before : float;
+  score_after : float;
+  bits_after : int;
+}
+
+type result = {
+  plan : Route.plan;
+  steps : step list; (** in the order taken *)
+  score : float; (** final objective value *)
+}
+
+(** [optimize g ~plan ~policy ~failures ~src ~dst ~candidates ~bits
+     ~objective] greedily folds candidate hops into [plan] while the
+    encoded size stays within [bits], keeping only hops that strictly
+    improve the objective (scores are "higher is better" internally; for
+    {!Expected_hops} the score is negated hops weighted by delivery).
+    Candidates default to tree hops of all off-path switches when [[]] is
+    given.  O(|candidates|^2) exact analyses — fine for the paper-scale
+    topologies this targets. *)
+val optimize :
+  Graph.t ->
+  plan:Route.plan ->
+  policy:Policy.t ->
+  failures:Graph.link_id list ->
+  src:Graph.node ->
+  dst:Graph.node ->
+  candidates:(int * int) list ->
+  bits:int ->
+  objective:objective ->
+  result
+
+(** [score g ~plan ~policy ~failures ~src ~dst ~objective] evaluates a plan
+    (exposed for tests and for comparing planners). *)
+val score :
+  Graph.t ->
+  plan:Route.plan ->
+  policy:Policy.t ->
+  failures:Graph.link_id list ->
+  src:Graph.node ->
+  dst:Graph.node ->
+  objective:objective ->
+  float

@@ -1,0 +1,80 @@
+module Z = Bignum.Z
+
+type t =
+  | No_deflection
+  | Hot_potato
+  | Any_valid_port
+  | Not_input_port
+
+let all = [ No_deflection; Hot_potato; Any_valid_port; Not_input_port ]
+
+let to_string = function
+  | No_deflection -> "none"
+  | Hot_potato -> "hp"
+  | Any_valid_port -> "avp"
+  | Not_input_port -> "nip"
+
+let of_string = function
+  | "none" -> Some No_deflection
+  | "hp" -> Some Hot_potato
+  | "avp" -> Some Any_valid_port
+  | "nip" -> Some Not_input_port
+  | _ -> None
+
+type port_state = { up : bool; to_host : bool }
+
+type decision =
+  | Forward of int
+  | Drop
+
+type packet_view = { route_id : Z.t; in_port : int; deflected : bool }
+
+let computed_port ~switch_id ~route_id =
+  Z.to_int_exn (Z.erem route_id (Z.of_int switch_id))
+
+(* Candidate set for a random deflection draw: every healthy port
+   (host-facing ones included -- a packet deflected into an edge strands
+   there and is re-encoded, the paper's second edge-handling approach).
+   [exclude] removes the input port for NIP. *)
+let random_candidates ports ~exclude =
+  let acc = ref [] in
+  Array.iteri
+    (fun p st ->
+      if st.up && (match exclude with Some q -> p <> q | None -> true) then
+        acc := p :: !acc)
+    ports;
+  List.rev !acc
+
+let pick rng = function
+  | [] -> Drop
+  | [ p ] -> Forward p
+  | candidates -> Forward (List.nth candidates (Util.Prng.int rng (List.length candidates)))
+
+let forward policy ~switch_id ~ports ~packet rng =
+  let n_ports = Array.length ports in
+  let c = computed_port ~switch_id ~route_id:packet.route_id in
+  let computed_usable = c < n_ports && ports.(c).up in
+  match policy with
+  | No_deflection ->
+    ((if computed_usable then Forward c else Drop), packet.deflected)
+  | Hot_potato ->
+    if packet.deflected then
+      (pick rng (random_candidates ports ~exclude:None), true)
+    else if computed_usable then (Forward c, false)
+    else (pick rng (random_candidates ports ~exclude:None), true)
+  | Any_valid_port ->
+    if computed_usable then (Forward c, packet.deflected)
+    else (pick rng (random_candidates ports ~exclude:None), true)
+  | Not_input_port ->
+    if computed_usable && c <> packet.in_port then (Forward c, packet.deflected)
+    else begin
+      match random_candidates ports ~exclude:(Some packet.in_port) with
+      | [] ->
+        (* Degree-one dead end: the paper's Algorithm 1 would spin forever;
+           we send the packet back where it came from if that port is up. *)
+        ((if packet.in_port < n_ports && ports.(packet.in_port).up then
+            Forward packet.in_port
+          else Drop),
+         true)
+      | candidates -> (pick rng candidates, true)
+    end

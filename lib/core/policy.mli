@@ -1,0 +1,66 @@
+(** KAR data-plane forwarding: the modulo computation and the three
+    deflection techniques of section 2.1.
+
+    A KAR core switch is stateless: the forwarding decision is a pure
+    function of the packet's route ID, the switch's own ID, the input port,
+    the liveness of the local ports — plus a random draw when deflecting.
+    The only per-packet state is the [deflected] flag that Hot-Potato needs
+    ("once a packet is deflected, it follows a complete random path").
+
+    Deflection picks uniformly among {e all healthy} ports (for NIP, minus
+    the input port).  A deflection into an edge node strands the packet
+    there; the edge then asks the controller for a fresh route ID — the
+    paper's second edge-handling approach, used in all its tests.  The port
+    selected by the modulo computation is always honoured wherever it
+    points; delivery to the egress host works through it. *)
+
+type t =
+  | No_deflection
+      (** baseline: drop when the computed port is unusable (the paper's
+          "no deflection" curve in Fig. 4) *)
+  | Hot_potato
+      (** HP: first unusable computed port marks the packet deflected;
+          deflected packets random-walk over healthy ports *)
+  | Any_valid_port
+      (** AVP: always recompute the modulo; random pick (including the
+          input port) only when the computed port is unusable *)
+  | Not_input_port
+      (** NIP: AVP, additionally never returning the packet through its
+          input port (Algorithm 1) *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+
+(** Liveness and orientation of one local port. *)
+type port_state = {
+  up : bool; (** link currently usable *)
+  to_host : bool; (** far end is an edge node *)
+}
+
+type decision =
+  | Forward of int (** output port index *)
+  | Drop
+
+(** What the switch needs to know about the packet in flight. *)
+type packet_view = {
+  route_id : Bignum.Z.t;
+  in_port : int;
+  deflected : bool;
+}
+
+(** [forward policy ~switch_id ~ports ~packet rng] is the forwarding
+    decision and the packet's updated [deflected] flag.  [ports.(p)]
+    describes local port [p]; [rng] is only consulted on deflection, so
+    failure-free forwarding is deterministic. *)
+val forward :
+  t ->
+  switch_id:int ->
+  ports:port_state array ->
+  packet:packet_view ->
+  Util.Prng.t ->
+  decision * bool
+
+(** [computed_port ~switch_id ~route_id] is the raw modulo result
+    [<R>_s] (which may not name an existing port). *)
+val computed_port : switch_id:int -> route_id:Bignum.Z.t -> int

@@ -1,0 +1,129 @@
+module Z = Bignum.Z
+module Graph = Topo.Graph
+
+type plan = {
+  route_id : Z.t;
+  modulus : Z.t;
+  residues : Rns.residue list;
+  core_path : Graph.node list;
+  protection : (int * int) list;
+  bit_length : int;
+}
+
+type error =
+  | Rns_error of Rns.error
+  | Not_adjacent of int * int
+  | Not_core of int
+  | Port_not_encodable of int * int
+  | Duplicate_switch of int
+
+let pp_error ppf = function
+  | Rns_error e -> Rns.pp_error ppf e
+  | Not_adjacent (a, b) -> Format.fprintf ppf "SW%d and SW%d are not adjacent" a b
+  | Not_core l -> Format.fprintf ppf "node %d is not a core switch" l
+  | Port_not_encodable (s, p) ->
+    Format.fprintf ppf "port %d of SW%d is not encodable (port >= switch ID)" p s
+  | Duplicate_switch s ->
+    Format.fprintf ppf
+      "SW%d already carries a residue; a switch can appear only once per route ID" s
+
+let ( let* ) = Result.bind
+
+(* Build a residue for switch node [v] exiting through [port]. *)
+let residue g v port =
+  let id = Graph.label g v in
+  if not (Graph.is_core g v) then Error (Not_core id)
+  else if port >= id then Error (Port_not_encodable (id, port))
+  else Ok { Rns.modulus = id; value = port }
+
+let encode_plan ~core_path ~protection residues =
+  match Rns.encode residues with
+  | Error e -> Error (Rns_error e)
+  | Ok (route_id, modulus) ->
+    Ok
+      {
+        route_id;
+        modulus;
+        residues;
+        core_path;
+        protection;
+        bit_length = Rns.bit_length_bound modulus;
+      }
+
+let check_no_duplicates residues =
+  let rec go seen = function
+    | [] -> Ok ()
+    | r :: rest ->
+      if List.mem r.Rns.modulus seen then Error (Duplicate_switch r.Rns.modulus)
+      else go (r.Rns.modulus :: seen) rest
+  in
+  go [] residues
+
+let of_core_path g path ~egress_port =
+  let rec residues acc = function
+    | [] -> Ok (List.rev acc)
+    | [ last ] ->
+      let* r = residue g last egress_port in
+      Ok (List.rev (r :: acc))
+    | a :: (b :: _ as rest) ->
+      (match Graph.port_towards g a b with
+       | None -> Error (Not_adjacent (Graph.label g a, Graph.label g b))
+       | Some p ->
+         let* r = residue g a p in
+         residues (r :: acc) rest)
+  in
+  match path with
+  | [] -> Error (Rns_error Rns.Empty_system)
+  | _ ->
+    let* rs = residues [] path in
+    let* () = check_no_duplicates rs in
+    encode_plan ~core_path:path ~protection:[] rs
+
+let of_labels g labels ~egress_label =
+  let nodes = List.map (Graph.node_of_label g) labels in
+  match List.rev nodes with
+  | [] -> Error (Rns_error Rns.Empty_system)
+  | last :: _ ->
+    let egress = Graph.node_of_label g egress_label in
+    (match Graph.port_towards g last egress with
+     | None -> Error (Not_adjacent (Graph.label g last, egress_label))
+     | Some p -> of_core_path g nodes ~egress_port:p)
+
+let protect g plan hops =
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | (s_label, next_label) :: rest ->
+      let s = Graph.node_of_label g s_label in
+      let next = Graph.node_of_label g next_label in
+      (match Graph.port_towards g s next with
+       | None -> Error (Not_adjacent (s_label, next_label))
+       | Some p ->
+         let* r = residue g s p in
+         build (r :: acc) rest)
+  in
+  let* extra = build [] hops in
+  let residues = plan.residues @ extra in
+  let* () = check_no_duplicates residues in
+  encode_plan ~core_path:plan.core_path ~protection:(plan.protection @ hops) residues
+
+let raise_error e = invalid_arg (Format.asprintf "Route: %a" pp_error e)
+
+let of_labels_exn g labels ~egress_label =
+  match of_labels g labels ~egress_label with
+  | Ok p -> p
+  | Error e -> raise_error e
+
+let protect_exn g plan hops =
+  match protect g plan hops with
+  | Ok p -> p
+  | Error e -> raise_error e
+
+let next_hop plan ~switch_id =
+  Policy.computed_port ~switch_id ~route_id:plan.route_id
+
+let verify plan =
+  List.filter_map
+    (fun r ->
+      let got = Policy.computed_port ~switch_id:r.Rns.modulus ~route_id:plan.route_id in
+      if got = r.Rns.value then None else Some (r.Rns.modulus, r.Rns.value, got))
+    plan.residues

@@ -1,0 +1,108 @@
+module Graph = Topo.Graph
+
+type outcome =
+  | Delivered of int
+  | Stranded of Graph.node * int
+  | Dropped of int
+  | Ttl_exceeded
+
+type result = {
+  trials : int;
+  delivered : int;
+  stranded : int;
+  dropped : int;
+  ttl_exceeded : int;
+  mean_hops : float;
+  max_hops : int;
+  p_delivery : float;
+}
+
+let port_states g ~failed v =
+  Array.init (Graph.degree g v) (fun p ->
+      let link = Graph.link_at g v p in
+      let far = (Graph.other_end link v).Graph.node in
+      {
+        Policy.up = not (List.mem link.Graph.id failed);
+        to_host = not (Graph.is_core g far);
+      })
+
+let walk g ~plan ~policy ~failed ~src ~dst ~ttl rng =
+  (* Enter the core through the source edge's first healthy port. *)
+  let first_hop () =
+    let rec find p =
+      if p >= Graph.degree g src then None
+      else begin
+        let link = Graph.link_at g src p in
+        if List.mem link.Graph.id failed then find (p + 1)
+        else Some (Graph.other_end link src)
+      end
+    in
+    find 0
+  in
+  match first_hop () with
+  | None -> Dropped 0
+  | Some entry ->
+    let rec step (node : Graph.node) in_port hops deflected =
+      if node = dst then Delivered hops
+      else if not (Graph.is_core g node) then Stranded (node, hops)
+      else if hops >= ttl then Ttl_exceeded
+      else begin
+        let view =
+          { Policy.route_id = plan.Route.route_id; in_port; deflected }
+        in
+        let decision, deflected' =
+          Policy.forward policy
+            ~switch_id:(Graph.label g node)
+            ~ports:(port_states g ~failed node)
+            ~packet:view rng
+        in
+        match decision with
+        | Policy.Drop -> Dropped hops
+        | Policy.Forward port ->
+          let far = Graph.other_end (Graph.link_at g node port) node in
+          step far.Graph.node far.Graph.port (hops + 1) deflected'
+      end
+    in
+    step entry.Graph.node entry.Graph.port 0 false
+
+let run g ~plan ~policy ~failed ~src ~dst ~trials ~seed ?(ttl = 128) () =
+  if trials <= 0 then invalid_arg "Walk.run: trials must be positive";
+  let rng = Util.Prng.of_int seed in
+  let delivered = ref 0
+  and stranded = ref 0
+  and dropped = ref 0
+  and ttl_exceeded = ref 0
+  and hop_total = ref 0
+  and hop_max = ref 0 in
+  for _ = 1 to trials do
+    match walk g ~plan ~policy ~failed ~src ~dst ~ttl rng with
+    | Delivered h ->
+      incr delivered;
+      hop_total := !hop_total + h;
+      if h > !hop_max then hop_max := h
+    | Stranded _ -> incr stranded
+    | Dropped _ -> incr dropped
+    | Ttl_exceeded -> incr ttl_exceeded
+  done;
+  {
+    trials;
+    delivered = !delivered;
+    stranded = !stranded;
+    dropped = !dropped;
+    ttl_exceeded = !ttl_exceeded;
+    mean_hops =
+      (if !delivered = 0 then nan
+       else float_of_int !hop_total /. float_of_int !delivered);
+    max_hops = !hop_max;
+    p_delivery = float_of_int !delivered /. float_of_int trials;
+  }
+
+let hop_histogram g ~plan ~policy ~failed ~src ~dst ~trials ~seed ?(ttl = 128) () =
+  let rng = Util.Prng.of_int seed in
+  let hist = Array.make (ttl + 1) 0 in
+  for _ = 1 to trials do
+    match walk g ~plan ~policy ~failed ~src ~dst ~ttl rng with
+    | Delivered h -> hist.(h) <- hist.(h) + 1
+    | Stranded _ | Dropped _ | Ttl_exceeded -> ()
+  done;
+  hist

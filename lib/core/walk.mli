@@ -1,0 +1,71 @@
+(** Monte-Carlo simulation of single-packet deflection walks.
+
+    Queue-free and time-free: only the forwarding decisions are exercised,
+    which makes it cheap enough to estimate delivery probabilities and
+    hop-count distributions over thousands of trials, and to cross-check
+    the exact {!Markov} analysis.  The packet-level simulator ({!Netsim})
+    is the heavyweight counterpart that adds queues, rates and TCP. *)
+
+module Graph = Topo.Graph
+
+type outcome =
+  | Delivered of int (** switch hops taken to reach the destination edge *)
+  | Stranded of Graph.node * int
+      (** reached a foreign edge node (would be re-encoded) after [hops] *)
+  | Dropped of int (** forwarding decision was Drop after [hops] *)
+  | Ttl_exceeded
+
+type result = {
+  trials : int;
+  delivered : int;
+  stranded : int;
+  dropped : int;
+  ttl_exceeded : int;
+  mean_hops : float; (** over delivered walks; [nan] if none delivered *)
+  max_hops : int; (** over delivered walks *)
+  p_delivery : float;
+}
+
+(** [walk g ~plan ~policy ~failed ~src ~dst ~ttl rng] runs one packet from
+    edge [src] toward edge [dst] with the plan's route ID, treating links
+    in [failed] as down. *)
+val walk :
+  Graph.t ->
+  plan:Route.plan ->
+  policy:Policy.t ->
+  failed:Graph.link_id list ->
+  src:Graph.node ->
+  dst:Graph.node ->
+  ttl:int ->
+  Util.Prng.t ->
+  outcome
+
+(** [run g ~plan ~policy ~failed ~src ~dst ~trials ~seed ()] aggregates
+    [trials] independent walks.  [ttl] defaults to 128. *)
+val run :
+  Graph.t ->
+  plan:Route.plan ->
+  policy:Policy.t ->
+  failed:Graph.link_id list ->
+  src:Graph.node ->
+  dst:Graph.node ->
+  trials:int ->
+  seed:int ->
+  ?ttl:int ->
+  unit ->
+  result
+
+(** [hop_histogram g ~plan ~policy ~failed ~src ~dst ~trials ~seed ()] is
+    the hop-count histogram of delivered walks (index = hops). *)
+val hop_histogram :
+  Graph.t ->
+  plan:Route.plan ->
+  policy:Policy.t ->
+  failed:Graph.link_id list ->
+  src:Graph.node ->
+  dst:Graph.node ->
+  trials:int ->
+  seed:int ->
+  ?ttl:int ->
+  unit ->
+  int array

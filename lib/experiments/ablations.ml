@@ -1,0 +1,246 @@
+module Graph = Topo.Graph
+module Nets = Topo.Nets
+
+let policy_hops_table () =
+  let cases =
+    [ ("net15", Nets.net15, Kar.Controller.Full);
+      ("rnp28", Nets.rnp28, Kar.Controller.Partial);
+      ("fig8", Nets.rnp_fig8, Kar.Controller.Partial) ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (name, sc, level) ->
+      let plan = Kar.Controller.scenario_plan sc level in
+      List.iter
+        (fun fc ->
+          List.iter
+            (fun policy ->
+              let a =
+                Kar.Markov.analyze sc.Nets.graph ~plan ~policy
+                  ~failed:[ fc.Nets.link ] ~src:sc.Nets.ingress
+                  ~dst:sc.Nets.egress
+              in
+              let mc =
+                Kar.Walk.run sc.Nets.graph ~plan ~policy ~failed:[ fc.Nets.link ]
+                  ~src:sc.Nets.ingress ~dst:sc.Nets.egress ~trials:5000 ~seed:3 ()
+              in
+              rows :=
+                [
+                  name;
+                  fc.Nets.name;
+                  Kar.Policy.to_string policy;
+                  Printf.sprintf "%.4f" a.Kar.Markov.p_delivered;
+                  Printf.sprintf "%.4f" a.Kar.Markov.p_stranded;
+                  (if Float.is_nan a.Kar.Markov.expected_hops_delivered then "-"
+                   else Printf.sprintf "%.2f" a.Kar.Markov.expected_hops_delivered);
+                  Printf.sprintf "%.4f" mc.Kar.Walk.p_delivery;
+                  (if Float.is_nan mc.Kar.Walk.mean_hops then "-"
+                   else Printf.sprintf "%.2f" mc.Kar.Walk.mean_hops);
+                ]
+                :: !rows)
+            Kar.Policy.all)
+        sc.Nets.failures)
+    cases;
+  "Ablation: exact vs Monte-Carlo deflection-walk metrics per policy\n"
+  ^ Util.Texttab.render
+      ~header:
+        [ "Net"; "Failure"; "Policy"; "P(del)"; "P(strand)"; "E[hops|del]";
+          "MC P(del)"; "MC hops" ]
+      (List.rev !rows)
+
+let ids_table () =
+  let topologies =
+    [
+      ("ring16", Topo.Gen.ring 16);
+      ("grid4x4", Topo.Gen.grid ~w:4 ~h:4);
+      ("gnp24", Topo.Gen.gnp ~n:24 ~p:0.18 ~seed:5);
+      ("waxman32", Topo.Gen.waxman ~n:32 ~alpha:0.9 ~beta:0.3 ~seed:9);
+    ]
+  in
+  let strategies =
+    [ Kar.Ids.Primes_ascending; Kar.Ids.Degree_descending; Kar.Ids.Prime_powers;
+      Kar.Ids.Random_primes 17 ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, g) ->
+        List.map
+          (fun strategy ->
+            let relabeled = Kar.Ids.assign g strategy in
+            let issues = Kar.Ids.validate relabeled in
+            [
+              name;
+              Kar.Ids.strategy_to_string strategy;
+              Printf.sprintf "%.1f" (Kar.Ids.mean_route_bits relabeled ~trials:200 ~seed:1);
+              Printf.sprintf "%d"
+                (List.fold_left max 0
+                   (List.map (Graph.label relabeled) (Graph.core_nodes relabeled)));
+              (if issues = [] then "ok" else String.concat "; " issues);
+            ])
+          strategies)
+      topologies
+  in
+  "Ablation: switch-ID assignment strategy vs route-ID bit growth\n"
+  ^ Util.Texttab.render
+      ~header:[ "Topology"; "Strategy"; "Mean route bits"; "Max ID"; "Valid" ]
+      rows
+
+let budget_table () =
+  let sc = Nets.net15 in
+  let g = sc.Nets.graph in
+  let fc = List.nth sc.Nets.failures 2 (* SW13-SW29 *) in
+  let base = Kar.Controller.scenario_plan sc Kar.Controller.Unprotected in
+  let dest = Graph.node_of_label g 29 in
+  let members =
+    Kar.Protection.off_path_members g
+      ~path:(List.map (Graph.node_of_label g) sc.Nets.primary)
+      ~radius:max_int
+  in
+  let rows =
+    List.map
+      (fun bits ->
+        let plan, chosen =
+          Kar.Protection.select_within_budget g ~plan:base ~dest ~members ~bits
+        in
+        let a =
+          Kar.Markov.analyze g ~plan ~policy:Kar.Policy.Not_input_port
+            ~failed:[ fc.Nets.link ] ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+        in
+        [
+          string_of_int bits;
+          string_of_int plan.Kar.Route.bit_length;
+          string_of_int (List.length chosen);
+          Printf.sprintf "%.4f" a.Kar.Markov.p_delivered;
+          (if Float.is_nan a.Kar.Markov.expected_hops_delivered then "-"
+           else Printf.sprintf "%.2f" a.Kar.Markov.expected_hops_delivered);
+        ])
+      [ 15; 20; 28; 36; 43; 52; 64; 96; 128 ]
+  in
+  "Ablation: protection bit budget vs exact delivery (net15, SW13-SW29 down, NIP)\n"
+  ^ Util.Texttab.render
+      ~header:[ "Budget (bits)"; "Used (bits)"; "Hops added"; "P(del)"; "E[hops|del]" ]
+      rows
+
+(* Distance-ordered greedy vs analysis-guided protection placement, at the
+   same bit budgets, on the net15 SW13-SW29 failure (the case where naive
+   placement is known to dip below the unprotected baseline). *)
+let planner_table () =
+  let sc = Nets.net15 in
+  let g = sc.Nets.graph in
+  let failures = List.map (fun fc -> fc.Nets.link) sc.Nets.failures in
+  let base = Kar.Controller.scenario_plan sc Kar.Controller.Unprotected in
+  let dest = Graph.node_of_label g 29 in
+  let members =
+    Kar.Protection.off_path_members g
+      ~path:(List.map (Graph.node_of_label g) sc.Nets.primary)
+      ~radius:max_int
+  in
+  let evaluate plan =
+    Kar.Optimizer.score g ~plan ~policy:Kar.Policy.Not_input_port ~failures
+      ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+      ~objective:Kar.Optimizer.Worst_delivery
+  in
+  let rows =
+    List.map
+      (fun bits ->
+        let naive_plan, naive_hops =
+          Kar.Protection.select_within_budget g ~plan:base ~dest ~members ~bits
+        in
+        let optimized =
+          Kar.Optimizer.optimize g ~plan:base ~policy:Kar.Policy.Not_input_port
+            ~failures ~src:sc.Nets.ingress ~dst:sc.Nets.egress ~candidates:[]
+            ~bits ~objective:Kar.Optimizer.Worst_delivery
+        in
+        [
+          string_of_int bits;
+          Printf.sprintf "%.4f (%d hops, %d bits)" (evaluate naive_plan)
+            (List.length naive_hops) naive_plan.Kar.Route.bit_length;
+          Printf.sprintf "%.4f (%d hops, %d bits)" optimized.Kar.Optimizer.score
+            (List.length optimized.Kar.Optimizer.steps)
+            optimized.Kar.Optimizer.plan.Kar.Route.bit_length;
+        ])
+      [ 20; 28; 43; 64 ]
+  in
+  "Ablation: protection placement — distance-ordered greedy vs "
+  ^ "exact-analysis guided (net15, worst-case delivery over all three "
+  ^ "failures, NIP)\n"
+  ^ Util.Texttab.render
+      ~header:[ "Bit budget"; "Distance-ordered"; "Analysis-guided" ]
+      rows
+  ^ "The analysis-guided planner never includes a hop that hurts, so it "
+  ^ "dominates at every budget; the distance-ordered planner can dip "
+  ^ "below the unprotected baseline (the Fig. 8 funnel effect).\n"
+
+(* Reno vs CUBIC under deflection-induced reordering: does the congestion
+   controller change who wins? *)
+let cc_table ?(profile = Profile.from_env ()) () =
+  let sc = Nets.net15 in
+  let fc = List.nth sc.Nets.failures 1 in
+  let run policy cc =
+    let r =
+      Workload.Runner.timeline sc
+        {
+          Workload.Runner.default_timeline with
+          policy = Workload.Runner.Kar policy;
+          level = Kar.Controller.Full;
+          failure = Some fc;
+          pre_s = profile.Profile.iperf_duration_s /. 2.0;
+          fail_s = profile.Profile.iperf_duration_s;
+          post_s = profile.Profile.iperf_duration_s /. 2.0;
+          tcp = { Tcp.Flow.default_config with Tcp.Flow.cc };
+        }
+    in
+    r.Workload.Runner.mean_fail
+  in
+  let rows =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun (cc_name, cc) ->
+            [
+              Kar.Policy.to_string policy;
+              cc_name;
+              Printf.sprintf "%.1f" (run policy cc);
+            ])
+          [ ("Reno", Tcp.Flow.Reno); ("CUBIC", Tcp.Flow.Cubic) ])
+      [ Kar.Policy.Not_input_port; Kar.Policy.Any_valid_port; Kar.Policy.Hot_potato ]
+  in
+  "Ablation: congestion control vs deflection policy (net15, SW7-SW13 "
+  ^ "failure; goodput during the failure window, Mb/s)\n"
+  ^ Util.Texttab.render ~header:[ "Policy"; "CC"; "During failure" ] rows
+  ^ "The policy ordering (NIP > AVP > HP) is robust to the congestion "
+  ^ "controller; under heavy reordering CUBIC's slower post-reduction ramp "
+  ^ "makes it marginally worse than Reno here.\n"
+
+let delivery_table ?(profile = Profile.from_env ()) () =
+  let sc = Nets.net15 in
+  let fc = List.nth sc.Nets.failures 1 in
+  let rows =
+    List.map
+      (fun policy ->
+        let r =
+          Workload.Cbr.run sc ~policy ~level:Kar.Controller.Full ~rate_pps:12000
+            ~duration_s:profile.Profile.cbr_duration_s ~failure:fc ~seed:23 ()
+        in
+        let m = r.Workload.Cbr.reordering in
+        [
+          Kar.Policy.to_string policy;
+          Printf.sprintf "%d/%d" r.Workload.Cbr.received r.Workload.Cbr.sent;
+          Printf.sprintf "%.4f" r.Workload.Cbr.delivery_ratio;
+          (if Float.is_nan r.Workload.Cbr.mean_hops then "-"
+           else Printf.sprintf "%.2f" r.Workload.Cbr.mean_hops);
+          (if Float.is_nan r.Workload.Cbr.mean_latency_s then "-"
+           else Printf.sprintf "%.2f ms" (1e3 *. r.Workload.Cbr.mean_latency_s));
+          string_of_int r.Workload.Cbr.reencoded;
+          Printf.sprintf "%.2f%%" (100.0 *. m.Netsim.Reorder.reordered_fraction);
+          string_of_int m.Netsim.Reorder.buffer_packets;
+        ])
+      Kar.Policy.all
+  in
+  "Ablation: UDP delivery and network reordering during SW7-SW13 failure \
+   (net15, full protection)\n"
+  ^ Util.Texttab.render
+      ~header:
+        [ "Policy"; "Received/sent"; "Delivery"; "Mean hops"; "Mean latency";
+          "Re-encoded"; "Reordered"; "Buffer (pkts)" ]
+      rows

@@ -1,0 +1,20 @@
+(** Beyond the paper: what deflection does to {e bystander} traffic.
+
+    The paper measures the protected flow only.  But deflected packets
+    travel links other flows are using: resilience for one flow is
+    interference for another.  This experiment runs the paper's protected
+    flow (AS1 -> AS3 over net15) next to a bystander flow (AS2 -> AS3) and
+    measures both, with and without the SW7-SW13 failure, for each
+    deflection policy — quantifying the "performance indicators" trade-off
+    the paper defers to future work. *)
+
+type point = {
+  policy : Kar.Policy.t;
+  failed : bool;
+  primary_mbps : float; (** the protected AS1 -> AS3 flow *)
+  bystander_mbps : float; (** the AS2 -> AS3 flow sharing the egress *)
+}
+
+val run : ?profile:Profile.t -> unit -> point list
+
+val to_string : ?profile:Profile.t -> unit -> string

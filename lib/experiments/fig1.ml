@@ -1,0 +1,59 @@
+module Z = Bignum.Z
+
+type result = {
+  primary_route_id : Z.t;
+  primary_modulus : Z.t;
+  protected_route_id : Z.t;
+  protected_modulus : Z.t;
+  ports_of_660 : int list;
+  healthy_hops : int;
+  deflected_delivery : float;
+  deflected_hops : float;
+}
+
+let run () =
+  let sc = Topo.Nets.fig1_six in
+  let g = sc.Topo.Nets.graph in
+  let primary = Kar.Controller.scenario_plan sc Kar.Controller.Unprotected in
+  let protected_plan = Kar.Controller.scenario_plan sc Kar.Controller.Partial in
+  let failure = List.hd sc.Topo.Nets.failures in
+  let healthy =
+    Kar.Markov.analyze g ~plan:protected_plan ~policy:Kar.Policy.Not_input_port
+      ~failed:[] ~src:sc.Topo.Nets.ingress ~dst:sc.Topo.Nets.egress
+  in
+  let broken =
+    Kar.Markov.analyze g ~plan:protected_plan ~policy:Kar.Policy.Not_input_port
+      ~failed:[ failure.Topo.Nets.link ] ~src:sc.Topo.Nets.ingress
+      ~dst:sc.Topo.Nets.egress
+  in
+  {
+    primary_route_id = primary.Kar.Route.route_id;
+    primary_modulus = primary.Kar.Route.modulus;
+    protected_route_id = protected_plan.Kar.Route.route_id;
+    protected_modulus = protected_plan.Kar.Route.modulus;
+    ports_of_660 = Rns.decode protected_plan.Kar.Route.route_id [ 4; 7; 11; 5 ];
+    healthy_hops = int_of_float healthy.Kar.Markov.expected_hops_delivered;
+    deflected_delivery = broken.Kar.Markov.p_delivered;
+    deflected_hops = broken.Kar.Markov.expected_hops_delivered;
+  }
+
+let to_string () =
+  let r = run () in
+  "Fig. 1 worked example (six-node network)\n"
+  ^ Util.Texttab.render_kv
+      [
+        ( "primary route ID",
+          Printf.sprintf "%s mod %s (paper: 44 mod 308)" (Z.to_string r.primary_route_id)
+            (Z.to_string r.primary_modulus) );
+        ( "protected route ID",
+          Printf.sprintf "%s mod %s (paper: 660 mod 1540)"
+            (Z.to_string r.protected_route_id)
+            (Z.to_string r.protected_modulus) );
+        ( "ports of 660 at {4,7,11,5}",
+          String.concat ", " (List.map string_of_int r.ports_of_660)
+          ^ " (paper: 0, 2, 0, 0)" );
+        ("hops, healthy", string_of_int r.healthy_hops);
+        ( "SW7-SW11 failed",
+          Printf.sprintf "delivery probability %.3f, expected hops %.2f"
+            r.deflected_delivery r.deflected_hops );
+      ]

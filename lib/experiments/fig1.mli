@@ -1,0 +1,19 @@
+(** Section 2 worked example on the six-node network of Fig. 1: the
+    primary route ID 44 over switches {4, 7, 11} with ports {0, 2, 0}, the
+    protected route ID 660 after folding in SW5 -> SW11, and the hop-by-hop
+    forwarding trace showing driven deflection on a SW7-SW11 failure. *)
+
+type result = {
+  primary_route_id : Bignum.Z.t; (** expected 44 *)
+  primary_modulus : Bignum.Z.t; (** expected 308 *)
+  protected_route_id : Bignum.Z.t; (** expected 660 *)
+  protected_modulus : Bignum.Z.t; (** expected 1540 *)
+  ports_of_660 : int list; (** residues at [4;7;11;5]: expected [0;2;0;0] *)
+  healthy_hops : int; (** exact switch hops without failure: 3 *)
+  deflected_delivery : float; (** exact delivery prob. with SW7-SW11 down *)
+  deflected_hops : float; (** exact expected hops with the failure *)
+}
+
+val run : unit -> result
+
+val to_string : unit -> string

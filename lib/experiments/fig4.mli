@@ -1,0 +1,24 @@
+(** Fig. 4 reproduction: TCP goodput time series across a SW7-SW13 failure
+    window on the 15-node network, one curve per deflection technique
+    (no deflection / HP / AVP / NIP), full protection.
+
+    Paper methodology: goodput collected 30 s before the failure, the
+    failure lasts 30 s, measurement stops 30 s after repair.  The [quick]
+    profile compresses each phase; [KAR_PROFILE=paper] restores 30 s. *)
+
+type curve = {
+  policy : Kar.Policy.t;
+  series : float list; (** Mb/s per bin *)
+  mean_pre : float;
+  mean_fail : float;
+  mean_post : float;
+  flow : Tcp.Flow.stats;
+}
+
+val run : ?profile:Profile.t -> unit -> curve list
+
+val to_string : ?profile:Profile.t -> unit -> string
+
+(** The paper's headline: with NIP the disorder penalty during failure is
+    roughly 25 % of the 200 Mb/s nominal. *)
+val paper_note : string

@@ -1,0 +1,62 @@
+type point = {
+  failure : string;
+  level : Kar.Controller.level;
+  policy : Kar.Policy.t;
+  goodput : Util.Stats.summary;
+}
+
+let paper_note =
+  "Paper: full protection achieves the highest goodput regardless of failure \
+   location or technique (~30% disorder penalty); partial matches full for \
+   SW7-SW13 and SW13-SW29 but loses ~1/3 of packets' goodput at SW10-SW7 \
+   (only one of SW10's three alternatives is protected)."
+
+let run ?(profile = Profile.from_env ()) () =
+  let sc = Topo.Nets.net15 in
+  let points = ref [] in
+  List.iter
+    (fun fc ->
+      List.iter
+        (fun level ->
+          List.iter
+            (fun policy ->
+              let config =
+                {
+                  Workload.Runner.default_iperf with
+                  policy = Workload.Runner.Kar policy;
+                  level;
+                  failure = Some fc;
+                  reps = profile.Profile.iperf_reps;
+                  rep_duration_s = profile.Profile.iperf_duration_s;
+                }
+              in
+              let goodput = Workload.Runner.iperf_reps sc config in
+              points :=
+                { failure = fc.Topo.Nets.name; level; policy; goodput }
+                :: !points)
+            [ Kar.Policy.Any_valid_port; Kar.Policy.Not_input_port ])
+        Kar.Controller.all_levels)
+    sc.Topo.Nets.failures;
+  List.rev !points
+
+let to_string ?(profile = Profile.from_env ()) () =
+  let points = run ~profile () in
+  let header = [ "Failure"; "Protection"; "Technique"; "Goodput (Mb/s)"; "95% CI" ] in
+  let body =
+    List.map
+      (fun p ->
+        [
+          p.failure;
+          Kar.Controller.level_to_string p.level;
+          Kar.Policy.to_string p.policy;
+          Printf.sprintf "%.1f" p.goodput.Util.Stats.mean;
+          Printf.sprintf "+/- %.1f" p.goodput.Util.Stats.ci95;
+        ])
+      points
+  in
+  Printf.sprintf
+    "Fig. 5: goodput vs failure location x protection x technique (net15, %d \
+     reps x %gs)\n"
+    profile.Profile.iperf_reps profile.Profile.iperf_duration_s
+  ^ Util.Texttab.render ~header body
+  ^ paper_note ^ "\n"

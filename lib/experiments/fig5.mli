@@ -1,0 +1,21 @@
+(** Fig. 5 reproduction: mean TCP goodput with 95 % confidence intervals on
+    the 15-node network, varying the failure location (SW10-SW7, SW7-SW13,
+    SW13-SW29), the protection level (unprotected / partial / full) and the
+    deflection technique (AVP, NIP).
+
+    Paper methodology: for every simulated failure, 30 iperf runs of 5 s
+    each, reporting the mean and 95 % CI.  The run count and duration come
+    from the active {!Profile}. *)
+
+type point = {
+  failure : string;
+  level : Kar.Controller.level;
+  policy : Kar.Policy.t;
+  goodput : Util.Stats.summary;
+}
+
+val run : ?profile:Profile.t -> unit -> point list
+
+val to_string : ?profile:Profile.t -> unit -> string
+
+val paper_note : string

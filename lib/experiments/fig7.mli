@@ -1,0 +1,23 @@
+(** Fig. 7 reproduction: TCP goodput on the RNP 28-node backbone with no
+    failure and with failures at SW7-SW13, SW13-SW41 and SW41-SW73 (NIP
+    deflection, the partial protection of Fig. 6: hops 17->71, 61->67,
+    67->71, 71->73).
+
+    Paper findings this experiment targets: SW7-SW13 costs under 5 % (the
+    deflected path is fully driven: 7->11->17->71->73, one extra hop, no
+    disorder); SW13-SW41 costs ~40 % with the highest variance (only 2 of
+    5 deflection alternatives are driven); SW41-SW73 costs ~30 % (both
+    alternatives driven but of different lengths). *)
+
+type point = {
+  case : string; (** "no failure" or the failed link *)
+  goodput : Util.Stats.summary;
+  analysis : Kar.Markov.analysis option;
+      (** the exact deflection-walk analysis for failure cases *)
+}
+
+val run : ?profile:Profile.t -> unit -> point list
+
+val to_string : ?profile:Profile.t -> unit -> string
+
+val paper_note : string

@@ -1,0 +1,23 @@
+(** Fig. 8 reproduction: the redundant-path worst case on the RNP graph.
+
+    Route 7 -> 13 -> 41 -> 73 -> 107 -> 113 with protection hops 71->17 and
+    17->41; failing SW73-SW107.  The KAR constraint (one residue per
+    switch) prevents using the redundant SW73-SW109-SW113 path as a second
+    default, so deflected packets loop 73 -> 71 -> 17 -> 41 -> 73 until
+    SW109 is drawn (probability 1/2 per visit).  The paper measures
+    throughput falling to 54.8 % of nominal; the exact chain analysis here
+    shows the geometric hop inflation that causes it. *)
+
+type result = {
+  nominal : Util.Stats.summary; (** no failure *)
+  failed : Util.Stats.summary; (** SW73-SW107 down *)
+  ratio : float; (** failed/nominal means *)
+  analysis : Kar.Markov.analysis; (** exact walk analysis under failure *)
+  loop_hops_histogram : int array; (** Monte-Carlo delivered-hops histogram *)
+}
+
+val run : ?profile:Profile.t -> unit -> result
+
+val to_string : ?profile:Profile.t -> unit -> string
+
+val paper_note : string

@@ -1,0 +1,33 @@
+type t = {
+  name : string;
+  fig4_phase_s : float;
+  iperf_reps : int;
+  iperf_duration_s : float;
+  walk_trials : int;
+  cbr_duration_s : float;
+}
+
+let quick =
+  {
+    name = "quick";
+    fig4_phase_s = 3.0;
+    iperf_reps = 10;
+    iperf_duration_s = 3.0;
+    walk_trials = 20_000;
+    cbr_duration_s = 2.0;
+  }
+
+let paper =
+  {
+    name = "paper";
+    fig4_phase_s = 30.0;
+    iperf_reps = 30;
+    iperf_duration_s = 5.0;
+    walk_trials = 100_000;
+    cbr_duration_s = 10.0;
+  }
+
+let from_env () =
+  match Sys.getenv_opt "KAR_PROFILE" with
+  | Some "paper" -> paper
+  | Some _ | None -> quick

@@ -1,0 +1,23 @@
+(** Execution profiles for the reproduction harness.
+
+    [quick] compresses the paper's timelines (seconds instead of the
+    paper's 30 s phases, 10 instead of 30 iperf repetitions) so the whole
+    suite regenerates in minutes; [paper] uses the published durations.
+    The topology, rates and mechanisms are identical — only measurement
+    windows and repetition counts change. *)
+
+type t = {
+  name : string;
+  fig4_phase_s : float; (** per-phase duration (before / failure / after) *)
+  iperf_reps : int;
+  iperf_duration_s : float;
+  walk_trials : int;
+  cbr_duration_s : float;
+}
+
+val quick : t
+val paper : t
+
+(** [from_env ()] picks [paper] when the environment variable
+    [KAR_PROFILE=paper] is set, else [quick]. *)
+val from_env : unit -> t

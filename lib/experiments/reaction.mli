@@ -1,0 +1,37 @@
+(** Beyond-the-paper experiments on the failure-reaction design space.
+
+    The paper's introduction frames KAR against two alternatives: waiting
+    for a source notification, and in-network protection state.  These
+    experiments quantify the whole spectrum on the 15-node network:
+
+    - {!compare_schemes}: goodput during the failure window for KAR
+      deflection (NIP/AVP), 1+1 ingress failover, controller rerouting
+      with a realistic notification delay, and the stateful fast-failover
+      data plane;
+    - {!detection_sweep}: KAR's one hidden dependency — local failure
+      {e detection} — swept from the paper's implicit oracle (0) to
+      hundreds of milliseconds, showing how the advantage over reactive
+      schemes shrinks as detection slows. *)
+
+type scheme_result = {
+  scheme : string;
+  mean_onset : float; (** goodput in the first second after the failure *)
+  mean_fail : float; (** goodput during the failure window, Mb/s *)
+  mean_post : float; (** after repair *)
+  drops : int; (** packets lost across the run *)
+}
+
+val compare_schemes : ?profile:Profile.t -> unit -> scheme_result list
+
+val compare_to_string : ?profile:Profile.t -> unit -> string
+
+type detection_point = {
+  detection_s : float;
+  mean_onset : float;
+  mean_fail : float;
+  drops : int;
+}
+
+val detection_sweep : ?profile:Profile.t -> unit -> detection_point list
+
+val detection_to_string : ?profile:Profile.t -> unit -> string

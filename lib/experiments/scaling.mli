@@ -1,0 +1,26 @@
+(** Beyond the paper: how the route-ID header grows with network scale.
+
+    Section 2.3 notes that the bit length grows with the product of the
+    switch IDs on the (protected) route and that this "restriction should
+    be considered for implementation purposes".  This experiment quantifies
+    it: for synthetic topologies of increasing size, it measures the
+    route-ID bit length of diameter-length routes at each protection level,
+    and checks them against the wire format's capacity. *)
+
+type row = {
+  nodes : int;
+  diameter : int;
+  bits_unprotected : int; (** a diameter route, no protection *)
+  bits_radius1 : int; (** + tree hops for all switches adjacent to it *)
+  bits_full : int; (** + tree hops for every off-path switch *)
+  fits_header : bool; (** does full protection fit {!Wire.Header}? *)
+}
+
+val run : unit -> row list
+
+val to_string : unit -> string
+
+(** Multipath variant of the same question (the paper's future work): total
+    header bits for [k] edge-disjoint unprotected route IDs versus one
+    fully protected one, on the same topologies. *)
+val multipath_to_string : unit -> string

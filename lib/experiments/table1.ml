@@ -1,0 +1,43 @@
+type row = {
+  mechanism : string;
+  bit_length : int;
+  switches_in_route_id : int;
+  route_id : Bignum.Z.t;
+}
+
+let paper_values =
+  [ ("Unprotected", 15, 4); ("Partial protection", 28, 7); ("Full protection", 43, 10) ]
+
+let mechanism_of_level = function
+  | Kar.Controller.Unprotected -> "Unprotected"
+  | Kar.Controller.Partial -> "Partial protection"
+  | Kar.Controller.Full -> "Full protection"
+
+let rows () =
+  let sc = Topo.Nets.net15 in
+  List.map
+    (fun level ->
+      let plan = Kar.Controller.scenario_plan sc level in
+      {
+        mechanism = mechanism_of_level level;
+        bit_length = plan.Kar.Route.bit_length;
+        switches_in_route_id = List.length plan.Kar.Route.residues;
+        route_id = plan.Kar.Route.route_id;
+      })
+    Kar.Controller.all_levels
+
+let to_string () =
+  let header = [ "Protection mechanism"; "Bit length"; "Switches in route ID"; "(paper)" ] in
+  let body =
+    List.map2
+      (fun r (_, pbits, pn) ->
+        [
+          r.mechanism;
+          string_of_int r.bit_length;
+          string_of_int r.switches_in_route_id;
+          Printf.sprintf "%d bits / %d sw" pbits pn;
+        ])
+      (rows ()) paper_values
+  in
+  "Table 1: maximum bit length required by each protection mechanism (15-node network)\n"
+  ^ Util.Texttab.render ~header body

@@ -1,0 +1,19 @@
+(** Table 1 reproduction: maximum route-ID bit length per protection
+    mechanism on the 15-node network (paper: 15 / 28 / 43 bits for 4 / 7 /
+    10 switches in the route ID). *)
+
+type row = {
+  mechanism : string;
+  bit_length : int;
+  switches_in_route_id : int;
+  route_id : Bignum.Z.t; (** the concrete encoded value *)
+}
+
+val rows : unit -> row list
+
+(** Rendered exactly as the paper's table columns. *)
+val to_string : unit -> string
+
+(** Paper-reported values for EXPERIMENTS.md comparison:
+    (mechanism, bits, switches). *)
+val paper_values : (string * int * int) list

@@ -1,0 +1,119 @@
+type scheme_row = {
+  scheme : string;
+  multiple_failures : string;
+  source_routing : string;
+  core_state : string;
+}
+
+let matrix =
+  [
+    { scheme = "MPLS Fast Reroute"; multiple_failures = "Yes"; source_routing = "Yes"; core_state = "Stateless" };
+    { scheme = "SafeGuard"; multiple_failures = "Yes"; source_routing = "No"; core_state = "Stateful" };
+    { scheme = "OpenFlow Fast Failover"; multiple_failures = "Yes"; source_routing = "No"; core_state = "Stateful" };
+    { scheme = "Routing Deflections"; multiple_failures = "Yes"; source_routing = "Yes"; core_state = "Stateful" };
+    { scheme = "Path Splicing"; multiple_failures = "Yes"; source_routing = "No"; core_state = "Stateful" };
+    { scheme = "Slick Packets"; multiple_failures = "No"; source_routing = "Yes"; core_state = "Stateless" };
+    { scheme = "KeyFlow / SlickFlow"; multiple_failures = "No"; source_routing = "Yes"; core_state = "Stateless" };
+    { scheme = "KAR"; multiple_failures = "Yes"; source_routing = "Yes"; core_state = "Stateless" };
+  ]
+
+type evidence = {
+  kar_table_entries : int;
+  ff_table_entries : int;
+  pairs_considered : int; (* double failures keeping src-dst connected *)
+  kar_survives : int; (* pairs where every packet is delivered or
+                         re-encodable at an edge (no drop, no loop) *)
+  ff_survives : int; (* pairs where the single-backup scheme still
+                        reaches the destination *)
+}
+
+(* Sweep every pair of simultaneous core-link failures on net15 that keeps
+   ingress and egress connected, and ask each scheme whether packets still
+   reach the destination.  KAR (NIP, full protection) counts as surviving
+   when the exact chain analysis leaves no probability mass on drops or
+   loops — stranded packets are re-encoded by edges, which is part of the
+   KAR design. *)
+let measure () =
+  let sc = Topo.Nets.net15 in
+  let g = sc.Topo.Nets.graph in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Full in
+  let core_links =
+    List.filter
+      (fun l ->
+        Topo.Graph.is_core g l.Topo.Graph.ep0.Topo.Graph.node
+        && Topo.Graph.is_core g l.Topo.Graph.ep1.Topo.Graph.node)
+      (Topo.Graph.links g)
+    |> List.map (fun l -> l.Topo.Graph.id)
+  in
+  let pairs = ref 0 and kar_ok = ref 0 and ff_ok = ref 0 in
+  let rec sweep = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter
+        (fun b ->
+          let failed = [ a; b ] in
+          let usable l = not (List.mem l.Topo.Graph.id failed) in
+          let connected =
+            match
+              Topo.Paths.shortest_path g ~usable sc.Topo.Nets.ingress
+                sc.Topo.Nets.egress
+            with
+            | Some _ -> true
+            | None -> false
+          in
+          if connected then begin
+            incr pairs;
+            let analysis =
+              Kar.Markov.analyze g ~plan ~policy:Kar.Policy.Not_input_port
+                ~failed ~src:sc.Topo.Nets.ingress ~dst:sc.Topo.Nets.egress
+            in
+            if
+              analysis.Kar.Markov.p_delivered +. analysis.Kar.Markov.p_stranded
+              >= 0.999
+            then incr kar_ok;
+            match
+              Baselines.Fast_failover.hops_between g sc.Topo.Nets.ingress
+                sc.Topo.Nets.egress ~failed
+            with
+            | Some _ -> incr ff_ok
+            | None -> ()
+          end)
+        rest;
+      sweep rest
+  in
+  sweep core_links;
+  {
+    kar_table_entries = 0;
+    ff_table_entries = Baselines.Fast_failover.table_size g;
+    pairs_considered = !pairs;
+    kar_survives = !kar_ok;
+    ff_survives = !ff_ok;
+  }
+
+let to_string () =
+  let header = [ "Work"; "Multiple failures"; "Source routing"; "Core state" ] in
+  let body =
+    List.map
+      (fun r -> [ r.scheme; r.multiple_failures; r.source_routing; r.core_state ])
+      matrix
+  in
+  let e = measure () in
+  "Table 2: design-space comparison (as published)\n"
+  ^ Util.Texttab.render ~header body
+  ^ "\nMeasured evidence (this implementation):\n"
+  ^ Util.Texttab.render_kv
+      [
+        ( "KAR core state",
+          Printf.sprintf "%d flow entries per switch (forwarding = route_id mod switch_id)"
+            e.kar_table_entries );
+        ( "Fast-failover core state",
+          Printf.sprintf "%d entries per switch (one per destination)" e.ff_table_entries );
+        ( "Double-failure sweep",
+          Printf.sprintf "%d link pairs keep ingress-egress connected" e.pairs_considered );
+        ( "KAR survives (NIP, full protection)",
+          Printf.sprintf "%d/%d pairs (all traffic delivered or edge re-encoded)"
+            e.kar_survives e.pairs_considered );
+        ( "Fast failover survives",
+          Printf.sprintf "%d/%d pairs (single backup per hop black-holes the rest)"
+            e.ff_survives e.pairs_considered );
+      ]

@@ -1,0 +1,120 @@
+type event = { time : float; seq : int; fn : unit -> unit; mutable cancelled : bool }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable stopped : bool;
+  mutable done_count : int;
+}
+
+let create () =
+  {
+    heap = [||];
+    size = 0;
+    clock = 0.0;
+    next_seq = 0;
+    stopped = false;
+    done_count = 0;
+  }
+
+let now e = e.clock
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap e i j =
+  let tmp = e.heap.(i) in
+  e.heap.(i) <- e.heap.(j);
+  e.heap.(j) <- tmp
+
+let push e ev =
+  if e.size = Array.length e.heap then begin
+    let bigger = Array.make (max 64 (2 * e.size)) ev in
+    Array.blit e.heap 0 bigger 0 e.size;
+    e.heap <- bigger
+  end;
+  e.heap.(e.size) <- ev;
+  let i = ref e.size in
+  e.size <- e.size + 1;
+  while !i > 0 && before e.heap.(!i) e.heap.((!i - 1) / 2) do
+    swap e ((!i - 1) / 2) !i;
+    i := (!i - 1) / 2
+  done
+
+let pop e =
+  if e.size = 0 then None
+  else begin
+    let top = e.heap.(0) in
+    e.size <- e.size - 1;
+    e.heap.(0) <- e.heap.(e.size);
+    let i = ref 0 and continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let first = ref !i in
+      if l < e.size && before e.heap.(l) e.heap.(!first) then first := l;
+      if r < e.size && before e.heap.(r) e.heap.(!first) then first := r;
+      if !first = !i then continue := false
+      else begin
+        swap e !i !first;
+        i := !first
+      end
+    done;
+    Some top
+  end
+
+let schedule_at e t f =
+  if t < e.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now (%g)" t e.clock);
+  let ev = { time = t; seq = e.next_seq; fn = f; cancelled = false } in
+  e.next_seq <- e.next_seq + 1;
+  push e ev;
+  ev
+
+let schedule_in e dt f =
+  if dt < 0.0 then invalid_arg "Engine.schedule_in: negative delay";
+  schedule_at e (e.clock +. dt) f
+
+let cancel ev =
+  ev.cancelled <- true
+
+let step e =
+  match pop e with
+  | None -> false
+  | Some ev ->
+    if not ev.cancelled then begin
+      e.clock <- ev.time;
+      e.done_count <- e.done_count + 1;
+      ev.fn ()
+    end;
+    true
+
+let run e =
+  e.stopped <- false;
+  while (not e.stopped) && step e do
+    ()
+  done
+
+let run_until e t =
+  e.stopped <- false;
+  let continue = ref true in
+  while !continue && not e.stopped do
+    match e.size with
+    | 0 -> continue := false
+    | _ ->
+      if e.heap.(0).time > t then continue := false
+      else ignore (step e)
+  done;
+  if not e.stopped then e.clock <- max e.clock t
+
+let stop e = e.stopped <- true
+
+let pending e =
+  let count = ref 0 in
+  for i = 0 to e.size - 1 do
+    if not e.heap.(i).cancelled then incr count
+  done;
+  !count
+
+let processed e = e.done_count

@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine: a monotone virtual clock and a binary
+    heap of timestamped callbacks.  Replaces the wall-clock of the paper's
+    Mininet emulation with a deterministic, reproducible timeline. *)
+
+type t
+
+(** A handle for cancelling a scheduled event. *)
+type event
+
+(** [create ()] makes an engine with the clock at [0.0]. *)
+val create : unit -> t
+
+(** [now e] is the current virtual time in seconds. *)
+val now : t -> float
+
+(** [schedule_at e t f] runs [f] at absolute time [t].
+    @raise Invalid_argument if [t] is in the past. *)
+val schedule_at : t -> float -> (unit -> unit) -> event
+
+(** [schedule_in e dt f] runs [f] after [dt >= 0] seconds. *)
+val schedule_in : t -> float -> (unit -> unit) -> event
+
+(** [cancel ev] prevents a pending event from firing (idempotent; events
+    that already ran are unaffected). *)
+val cancel : event -> unit
+
+(** [run e] processes events in timestamp order (FIFO among equal
+    timestamps) until the queue empties or {!stop} is called. *)
+val run : t -> unit
+
+(** [run_until e t] processes events with timestamp [<= t], then sets the
+    clock to [t]. *)
+val run_until : t -> float -> unit
+
+(** [stop e] makes {!run} return after the current callback. *)
+val stop : t -> unit
+
+(** [pending e] is the number of queued (uncancelled) events. *)
+val pending : t -> int
+
+(** [processed e] counts callbacks run so far (for bench reporting). *)
+val processed : t -> int

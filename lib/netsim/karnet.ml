@@ -1,0 +1,79 @@
+module Graph = Topo.Graph
+
+let log_src = Logs.Src.create "kar.switch" ~doc:"KAR switch forwarding decisions"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let install_switches net ~policy ~seed =
+  let master = Util.Prng.of_int seed in
+  List.iter
+    (fun v ->
+      let rng = Util.Prng.split master in
+      let switch_id = Graph.label (Net.graph net) v in
+      let handler net _node (packet : Packet.t) ~in_port =
+        packet.Packet.hops <- packet.Packet.hops + 1;
+        if packet.Packet.hops > Net.ttl net then Net.drop net packet Net.Ttl_exceeded
+        else begin
+          let ports = Net.port_states net v in
+          let view =
+            {
+              Kar.Policy.route_id = packet.Packet.route_id;
+              in_port;
+              deflected = packet.Packet.deflected;
+            }
+          in
+          let decision, deflected =
+            Kar.Policy.forward policy ~switch_id ~ports ~packet:view rng
+          in
+          if deflected && not packet.Packet.deflected then begin
+            Net.count_deflection net;
+            Log.debug (fun m ->
+                m "SW%d deflected %a (in port %d)" switch_id Packet.pp packet
+                  in_port);
+            packet.Packet.deflected <- true
+          end;
+          match decision with
+          | Kar.Policy.Forward port -> Net.send net ~from_node:v ~port packet
+          | Kar.Policy.Drop -> Net.drop net packet Net.No_route
+        end
+      in
+      Net.set_node_handler net v handler)
+    (Graph.core_nodes (Net.graph net))
+
+type receive = Net.t -> Packet.t -> unit
+
+let install_edge net node ?(reencode_delay_s = 1e-3) ~reencode ~receive () =
+  let handler net _node (packet : Packet.t) ~in_port =
+    if packet.Packet.dst = node then begin
+      Net.delivered net packet;
+      receive net packet
+    end
+    else if in_port < 0 then begin
+      (* Locally injected by the host stack: ship toward the core.  An edge
+         node has exactly one (or more) uplink; use port 0. *)
+      Net.send net ~from_node:node ~port:0 packet
+    end
+    else begin
+      (* Stranded packet: ask the controller for a fresh route ID from this
+         edge, then re-inject after the control-plane round trip. *)
+      match reencode packet with
+      | None -> Net.drop net packet Net.No_route
+      | Some route_id ->
+        Net.count_reencode net;
+        packet.Packet.route_id <- route_id;
+        packet.Packet.deflected <- false;
+        packet.Packet.reencoded <- packet.Packet.reencoded + 1;
+        ignore
+          (Engine.schedule_in (Net.engine net) reencode_delay_s (fun () ->
+               Net.send net ~from_node:node ~port:0 packet))
+    end
+  in
+  Net.set_node_handler net node handler
+
+let install_standard_edges net ~controller_reencode =
+  List.iter
+    (fun v ->
+      install_edge net v ~reencode:controller_reencode
+        ~receive:(fun _ _ -> ())
+        ())
+    (Graph.edge_nodes (Net.graph net))

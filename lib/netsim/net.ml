@@ -1,0 +1,250 @@
+module Graph = Topo.Graph
+
+let log_src = Logs.Src.create "kar.netsim" ~doc:"KAR network simulator events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type drop_reason =
+  | Link_down
+  | Queue_full
+  | No_route
+  | Ttl_exceeded
+
+type stats = {
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped_link_down : int;
+  mutable dropped_queue_full : int;
+  mutable dropped_no_route : int;
+  mutable dropped_ttl : int;
+  mutable total_switch_hops : int;
+  mutable deflections : int;
+  mutable reencodes : int;
+}
+
+(* One direction of a link: a serialising transmitter behind a byte-bounded
+   FIFO.  [dst] is the receiving node and [dst_port] its input port. *)
+type channel = {
+  link_id : Graph.link_id;
+  dst : Graph.node;
+  dst_port : int;
+  rate_bps : float;
+  delay_s : float;
+  queue : Packet.t Queue.t;
+  mutable queued_bytes : int;
+  mutable busy : bool;
+  mutable epoch : int; (* bumped on failure: invalidates in-flight events *)
+}
+
+type t = {
+  graph : Graph.t;
+  engine : Engine.t;
+  queue_capacity_bytes : int;
+  ttl : int;
+  detection_delay_s : float;
+  up : bool array; (* per link *)
+  channels : channel array array; (* channels.(link).(dir) *)
+  out_channel : channel array array; (* out_channel.(node).(port) *)
+  handlers : handler option array;
+  port_cache : Kar.Policy.port_state array array;
+  stats : stats;
+  mutable next_uid : int;
+}
+
+and handler = t -> Graph.node -> Packet.t -> in_port:int -> unit
+
+let make_stats () =
+  {
+    injected = 0;
+    delivered = 0;
+    dropped_link_down = 0;
+    dropped_queue_full = 0;
+    dropped_no_route = 0;
+    dropped_ttl = 0;
+    total_switch_hops = 0;
+    deflections = 0;
+    reencodes = 0;
+  }
+
+let create ~graph ~engine ?(queue_capacity_bytes = 1_048_576) ?(ttl = 128)
+    ?(detection_delay_s = 0.0) () =
+  let n_links = Graph.n_links graph in
+  let channel_of link dir =
+    let far = if dir = 0 then link.Graph.ep1 else link.Graph.ep0 in
+    {
+      link_id = link.Graph.id;
+      dst = far.Graph.node;
+      dst_port = far.Graph.port;
+      rate_bps = link.Graph.rate_bps;
+      delay_s = link.Graph.delay_s;
+      queue = Queue.create ();
+      queued_bytes = 0;
+      busy = false;
+      epoch = 0;
+    }
+  in
+  let channels =
+    Array.init n_links (fun id ->
+        let link = Graph.link graph id in
+        [| channel_of link 0; channel_of link 1 |])
+  in
+  let out_channel =
+    Array.init (Graph.n_nodes graph) (fun v ->
+        Array.init (Graph.degree graph v) (fun p ->
+            let link = Graph.link_at graph v p in
+            let dir = if link.Graph.ep0.node = v then 0 else 1 in
+            channels.(link.Graph.id).(dir)))
+  in
+  let port_cache =
+    Array.init (Graph.n_nodes graph) (fun v ->
+        Array.init (Graph.degree graph v) (fun p ->
+            let link = Graph.link_at graph v p in
+            let far = (Graph.other_end link v).Graph.node in
+            { Kar.Policy.up = true; to_host = not (Graph.is_core graph far) }))
+  in
+  {
+    graph;
+    engine;
+    queue_capacity_bytes;
+    ttl;
+    detection_delay_s;
+    up = Array.make n_links true;
+    channels;
+    out_channel;
+    handlers = Array.make (Graph.n_nodes graph) None;
+    port_cache;
+    stats = make_stats ();
+    next_uid = 0;
+  }
+
+let graph net = net.graph
+let engine net = net.engine
+let stats net = net.stats
+let ttl net = net.ttl
+
+let drop net (packet : Packet.t) reason =
+  Log.debug (fun m ->
+      m "t=%.6f drop %a (%s)" (Engine.now net.engine) Packet.pp packet
+        (match reason with
+         | Link_down -> "link down"
+         | Queue_full -> "queue full"
+         | No_route -> "no route"
+         | Ttl_exceeded -> "ttl"));
+  let s = net.stats in
+  match reason with
+  | Link_down -> s.dropped_link_down <- s.dropped_link_down + 1
+  | Queue_full -> s.dropped_queue_full <- s.dropped_queue_full + 1
+  | No_route -> s.dropped_no_route <- s.dropped_no_route + 1
+  | Ttl_exceeded -> s.dropped_ttl <- s.dropped_ttl + 1
+
+let delivered net (_ : Packet.t) = net.stats.delivered <- net.stats.delivered + 1
+let count_deflection net = net.stats.deflections <- net.stats.deflections + 1
+let count_reencode net = net.stats.reencodes <- net.stats.reencodes + 1
+
+let set_node_handler net node h = net.handlers.(node) <- Some h
+
+let fresh_uid net =
+  let uid = net.next_uid in
+  net.next_uid <- uid + 1;
+  uid
+
+let link_up net id = net.up.(id)
+
+let deliver net node packet ~in_port =
+  match net.handlers.(node) with
+  | Some h -> h net node packet ~in_port
+  | None ->
+    if packet.Packet.dst = node then delivered net packet
+    else drop net packet No_route
+
+(* Start transmitting the head-of-line packet if the channel is idle. *)
+let rec pump net ch =
+  if (not ch.busy) && (not (Queue.is_empty ch.queue)) && net.up.(ch.link_id) then begin
+    let packet = Queue.pop ch.queue in
+    ch.queued_bytes <- ch.queued_bytes - packet.Packet.size_bytes;
+    ch.busy <- true;
+    let tx_time = float_of_int (packet.Packet.size_bytes * 8) /. ch.rate_bps in
+    let epoch = ch.epoch in
+    ignore
+      (Engine.schedule_in net.engine tx_time (fun () ->
+           if ch.epoch = epoch then begin
+             ch.busy <- false;
+             (* Propagation: the packet is on the wire; a failure during
+                propagation also kills it (checked via epoch). *)
+             ignore
+               (Engine.schedule_in net.engine ch.delay_s (fun () ->
+                    if ch.epoch = epoch then
+                      deliver net ch.dst packet ~in_port:ch.dst_port
+                    else drop net packet Link_down));
+             pump net ch
+           end
+           else drop net packet Link_down))
+  end
+
+let send net ~from_node ~port packet =
+  let ch = net.out_channel.(from_node).(port) in
+  if not net.up.(ch.link_id) then drop net packet Link_down
+  else if ch.queued_bytes + packet.Packet.size_bytes > net.queue_capacity_bytes
+  then drop net packet Queue_full
+  else begin
+    Queue.push packet ch.queue;
+    ch.queued_bytes <- ch.queued_bytes + packet.Packet.size_bytes;
+    pump net ch
+  end
+
+let inject net ~at packet =
+  net.stats.injected <- net.stats.injected + 1;
+  deliver net at packet ~in_port:(-1)
+
+let set_cached_up net id value =
+  let link = Graph.link net.graph id in
+  List.iter
+    (fun ep ->
+      let states = net.port_cache.(ep.Graph.node) in
+      states.(ep.Graph.port) <- { (states.(ep.Graph.port)) with Kar.Policy.up = value })
+    [ link.Graph.ep0; link.Graph.ep1 ]
+
+(* Liveness as the data plane *sees* it lags physical state by the
+   detection delay (loss-of-signal / BFD time): until detection, switches
+   keep selecting the dead port and those packets black-hole. *)
+let schedule_detection net id =
+  if net.detection_delay_s <= 0.0 then set_cached_up net id net.up.(id)
+  else
+    ignore
+      (Engine.schedule_in net.engine net.detection_delay_s (fun () ->
+           (* apply whatever the physical state is at detection time *)
+           set_cached_up net id net.up.(id)))
+
+let fail_link net id =
+  if net.up.(id) then begin
+    Log.info (fun m ->
+        let l = Graph.link net.graph id in
+        m "t=%.6f link %d (SW%d-SW%d) failed" (Engine.now net.engine) id
+          (Graph.label net.graph l.Graph.ep0.Graph.node)
+          (Graph.label net.graph l.Graph.ep1.Graph.node));
+    net.up.(id) <- false;
+    schedule_detection net id;
+    Array.iter
+      (fun ch ->
+        ch.epoch <- ch.epoch + 1;
+        ch.busy <- false;
+        Queue.iter (fun p -> drop net p Link_down) ch.queue;
+        Queue.clear ch.queue;
+        ch.queued_bytes <- 0)
+      net.channels.(id)
+  end
+
+let repair_link net id =
+  if not net.up.(id) then begin
+    Log.info (fun m -> m "t=%.6f link %d repaired" (Engine.now net.engine) id);
+    net.up.(id) <- true;
+    schedule_detection net id;
+    Array.iter (fun ch -> pump net ch) net.channels.(id)
+  end
+
+let schedule_failure net id ~at ~duration =
+  ignore (Engine.schedule_at net.engine at (fun () -> fail_link net id));
+  ignore
+    (Engine.schedule_at net.engine (at +. duration) (fun () -> repair_link net id))
+
+let port_states net node = net.port_cache.(node)

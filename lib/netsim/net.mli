@@ -1,0 +1,109 @@
+(** The simulated network: links with rate/delay/queues, link failures, and
+    per-node packet handlers.
+
+    Each undirected {!Topo.Graph.link} is simulated as two independent
+    directed channels.  A channel transmits one packet at a time
+    (store-and-forward: serialisation at [rate_bps], then propagation after
+    [delay_s]) and queues up to [queue_capacity_bytes] behind the
+    transmitter, dropping from the tail beyond that.
+
+    Node behaviour is pluggable: {!set_node_handler} assigns the callback
+    run when a packet arrives at a node.  The KAR switch behaviour lives in
+    {!Karnet}; hosts are assigned by the workload/TCP layers. *)
+
+type t
+
+(** The simulator's log source (["kar.netsim"]): link failures and repairs
+    at [Info], per-packet drops at [Debug].  Silent unless the application
+    sets up a [Logs] reporter. *)
+val log_src : Logs.src
+
+(** Reasons for packet loss, tallied in {!stats}. *)
+type drop_reason =
+  | Link_down (** sent into a failed link, or queued there when it failed *)
+  | Queue_full
+  | No_route (** the forwarding decision was [Drop] *)
+  | Ttl_exceeded
+
+type stats = {
+  mutable injected : int;
+  mutable delivered : int; (** packets consumed by a host handler *)
+  mutable dropped_link_down : int;
+  mutable dropped_queue_full : int;
+  mutable dropped_no_route : int;
+  mutable dropped_ttl : int;
+  mutable total_switch_hops : int;
+  mutable deflections : int; (** forwarding decisions that deflected *)
+  mutable reencodes : int; (** stranded packets re-encoded at an edge *)
+}
+
+(** [handler net node packet ~in_port] consumes a packet arriving at
+    [node] via [in_port] ([-1] for locally injected packets). *)
+type handler = t -> Topo.Graph.node -> Packet.t -> in_port:int -> unit
+
+(** [create ~graph ~engine ()] builds an idle network; all links start up.
+    [queue_capacity_bytes] defaults to 1 MiB per channel (Mininet-like deep
+    queues); [ttl] (maximum switch hops per packet) defaults to 128.
+    [detection_delay_s] (default 0: oracle detection, the paper's implicit
+    assumption) delays the moment switches {e observe} a liveness change:
+    until then they keep forwarding into a dead link and those packets are
+    lost — the loss-of-signal / BFD window of a real deployment. *)
+val create :
+  graph:Topo.Graph.t ->
+  engine:Engine.t ->
+  ?queue_capacity_bytes:int ->
+  ?ttl:int ->
+  ?detection_delay_s:float ->
+  unit ->
+  t
+
+val graph : t -> Topo.Graph.t
+val engine : t -> Engine.t
+val stats : t -> stats
+val ttl : t -> int
+
+(** [set_node_handler net node h] routes arriving packets at [node] to
+    [h].  Nodes without a handler count arrivals as delivered if the packet
+    is addressed to them and as [No_route] drops otherwise. *)
+val set_node_handler : t -> Topo.Graph.node -> handler -> unit
+
+(** [send net ~from_node ~port packet] enqueues [packet] on the directed
+    channel out of [from_node]'s [port].  If the link is down the packet is
+    dropped and counted. *)
+val send : t -> from_node:Topo.Graph.node -> port:int -> Packet.t -> unit
+
+(** [inject net ~at packet] delivers [packet] to [at]'s handler immediately
+    (in-node injection from a host stack; [in_port = -1]). *)
+val inject : t -> at:Topo.Graph.node -> Packet.t -> unit
+
+(** [drop net packet reason] records a loss (exposed for node handlers). *)
+val drop : t -> Packet.t -> drop_reason -> unit
+
+(** [delivered net packet] records a completed delivery (for host
+    handlers). *)
+val delivered : t -> Packet.t -> unit
+
+(** [count_deflection net] bumps the deflection counter (used by Karnet). *)
+val count_deflection : t -> unit
+
+val count_reencode : t -> unit
+
+(** [link_up net id] is the current liveness of link [id]. *)
+val link_up : t -> Topo.Graph.link_id -> bool
+
+(** [fail_link net id] takes the link down immediately, discarding both
+    channels' queues and any packet mid-flight on them. *)
+val fail_link : t -> Topo.Graph.link_id -> unit
+
+(** [repair_link net id] restores the link. *)
+val repair_link : t -> Topo.Graph.link_id -> unit
+
+(** [schedule_failure net id ~at ~duration] arranges a failure window. *)
+val schedule_failure : t -> Topo.Graph.link_id -> at:float -> duration:float -> unit
+
+(** [fresh_uid net] allocates a packet uid. *)
+val fresh_uid : t -> int
+
+(** [port_states net node] is the current {!Kar.Policy.port_state} array of
+    [node] (liveness from the failure state, orientation from the graph). *)
+val port_states : t -> Topo.Graph.node -> Kar.Policy.port_state array

@@ -1,0 +1,36 @@
+module Z = Bignum.Z
+
+type payload = ..
+type payload += Raw
+
+type t = {
+  uid : int;
+  src : Topo.Graph.node;
+  dst : Topo.Graph.node;
+  size_bytes : int;
+  mutable route_id : Z.t;
+  mutable deflected : bool;
+  mutable hops : int;
+  mutable reencoded : int;
+  born : float;
+  payload : payload;
+}
+
+let make ~uid ~src ~dst ~size_bytes ~route_id ~born payload =
+  {
+    uid;
+    src;
+    dst;
+    size_bytes;
+    route_id;
+    deflected = false;
+    hops = 0;
+    reencoded = 0;
+    born;
+    payload;
+  }
+
+let pp ppf p =
+  Format.fprintf ppf "pkt#%d %d->%d %dB R=%a hops=%d%s" p.uid p.src p.dst
+    p.size_bytes Z.pp p.route_id p.hops
+    (if p.deflected then " deflected" else "")

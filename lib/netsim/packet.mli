@@ -1,0 +1,39 @@
+(** Simulated packets.
+
+    The route ID is the only header field KAR core switches read; edges may
+    rewrite it (ingress stamping, stranded-packet re-encoding).  [payload]
+    is an extensible variant so higher layers (TCP, probe workloads) attach
+    their own data without the simulator depending on them. *)
+
+module Z = Bignum.Z
+
+type payload = ..
+
+type payload += Raw (** contentless filler traffic *)
+
+type t = {
+  uid : int; (** unique per simulation, for tracing *)
+  src : Topo.Graph.node; (** originating edge node *)
+  dst : Topo.Graph.node; (** intended egress edge node *)
+  size_bytes : int;
+  mutable route_id : Z.t; (** KAR header; edges may rewrite *)
+  mutable deflected : bool; (** set after the first deflection (HP state) *)
+  mutable hops : int; (** switch traversals so far *)
+  mutable reencoded : int; (** times an edge re-encoded this packet *)
+  born : float; (** creation time, for latency stats *)
+  payload : payload;
+}
+
+(** [make ~uid ~src ~dst ~size_bytes ~route_id ~born payload] builds a fresh
+    packet (not yet injected). *)
+val make :
+  uid:int ->
+  src:Topo.Graph.node ->
+  dst:Topo.Graph.node ->
+  size_bytes:int ->
+  route_id:Z.t ->
+  born:float ->
+  payload ->
+  t
+
+val pp : Format.formatter -> t -> unit

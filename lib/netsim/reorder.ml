@@ -1,0 +1,91 @@
+type t = {
+  mutable arrivals : int list; (* reversed arrival order *)
+  mutable received : int;
+  mutable max_seen : int; (* largest sequence number so far *)
+  mutable reordered : int;
+  mutable extent_total : int;
+  mutable max_extent : int;
+}
+
+let create () =
+  {
+    arrivals = [];
+    received = 0;
+    max_seen = min_int;
+    reordered = 0;
+    extent_total = 0;
+    max_extent = 0;
+  }
+
+(* Lookback bound for extent computation; deflection walks displace packets
+   by far less than this. *)
+let extent_window = 4096
+
+let observe t seq =
+  t.received <- t.received + 1;
+  if seq >= t.max_seen then begin
+    t.arrivals <- seq :: t.arrivals;
+    t.max_seen <- seq
+  end
+  else begin
+    (* reordered: count earlier arrivals with larger sequence numbers (the
+       RFC 4737 extent), walking the existing list without copying *)
+    t.reordered <- t.reordered + 1;
+    let extent = ref 0 in
+    let rec walk remaining = function
+      | [] -> ()
+      | _ when remaining = 0 -> ()
+      | other :: rest ->
+        if other > seq then incr extent;
+        walk (remaining - 1) rest
+    in
+    walk extent_window t.arrivals;
+    t.arrivals <- seq :: t.arrivals;
+    t.extent_total <- t.extent_total + !extent;
+    if !extent > t.max_extent then t.max_extent <- !extent
+  end
+
+type metrics = {
+  received : int;
+  reordered : int;
+  reordered_fraction : float;
+  max_extent : int;
+  mean_extent : float;
+  max_late : int;
+  buffer_packets : int;
+}
+
+let metrics t =
+  (* displacement: compare arrival rank with send rank among received
+     packets (losses removed by ranking the received set) *)
+  let arrivals = Array.of_list (List.rev t.arrivals) in
+  let by_seq = Array.copy arrivals in
+  Array.sort Stdlib.compare by_seq;
+  let send_rank = Hashtbl.create (Array.length by_seq) in
+  Array.iteri (fun rank seq -> Hashtbl.replace send_rank seq rank) by_seq;
+  let max_late = ref 0 in
+  Array.iteri
+    (fun arrival_rank seq ->
+      let late = arrival_rank - Hashtbl.find send_rank seq in
+      if late > !max_late then max_late := late)
+    arrivals;
+  {
+    received = t.received;
+    reordered = t.reordered;
+    reordered_fraction =
+      (if t.received = 0 then 0.0
+       else float_of_int t.reordered /. float_of_int t.received);
+    max_extent = t.max_extent;
+    mean_extent =
+      (if t.reordered = 0 then 0.0
+       else float_of_int t.extent_total /. float_of_int t.reordered);
+    max_late = !max_late;
+    buffer_packets = t.max_extent;
+  }
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "%d received, %.2f%% reordered, extent mean %.1f / max %d, max lateness %d"
+    m.received
+    (100.0 *. m.reordered_fraction)
+    m.mean_extent m.max_extent m.max_late

@@ -1,0 +1,44 @@
+(** Network-level packet reordering metrics (RFC 4737 flavoured).
+
+    TCP throughput measures reordering only through its consequences; this
+    analyzer measures it directly from the arrival sequence.  Feed it the
+    sequence numbers in arrival order (sequence numbers are assigned in
+    send order) and read off:
+
+    - the {e reordered fraction}: packets arriving with a sequence number
+      smaller than one already seen (RFC 4737 Type-P-Reordered);
+    - {e reordering extents}: for each reordered packet, how many packets
+      with larger sequence numbers preceded it — the buffer a receiver
+      would need to restore order;
+    - {e displacement}: arrival position minus send position, whose spread
+      is what defeats a fixed duplicate-ACK threshold.
+
+    Used by the reordering ablation to compare deflection policies on the
+    same footing the paper discusses ("the effect of packets
+    disordering"). *)
+
+type t
+
+val create : unit -> t
+
+(** [observe t seq] records the next arrival.  Sequence numbers need not be
+    dense (losses leave gaps) but must be distinct.  Extents are computed
+    over a 4096-packet lookback window (larger extents are undercounted —
+    far beyond anything a deflection walk produces). *)
+val observe : t -> int -> unit
+
+type metrics = {
+  received : int;
+  reordered : int; (** RFC 4737 reordered-packet count *)
+  reordered_fraction : float;
+  max_extent : int; (** largest reordering extent, in packets *)
+  mean_extent : float; (** over reordered packets only; 0 if none *)
+  max_late : int; (** most positions any packet arrived late *)
+  buffer_packets : int;
+      (** minimum reorder buffer (= max extent) to restore order *)
+}
+
+val metrics : t -> metrics
+
+(** [pp_metrics] renders a compact one-line summary. *)
+val pp_metrics : Format.formatter -> metrics -> unit

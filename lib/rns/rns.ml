@@ -1,0 +1,161 @@
+module Z = Bignum.Z
+
+type residue = { modulus : int; value : int }
+
+type error =
+  | Not_pairwise_coprime of int * int
+  | Residue_out_of_range of residue
+  | Nonpositive_modulus of int
+  | Empty_system
+  | Modulus_conflict of int
+
+let pp_error ppf = function
+  | Not_pairwise_coprime (a, b) ->
+    Format.fprintf ppf "switch IDs %d and %d are not coprime (gcd %d)" a b
+      (let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+       gcd a b)
+  | Residue_out_of_range { modulus; value } ->
+    Format.fprintf ppf "port %d is not representable at switch ID %d (need 0 <= port < id)"
+      value modulus
+  | Nonpositive_modulus m -> Format.fprintf ppf "switch ID %d is not positive" m
+  | Empty_system -> Format.fprintf ppf "empty residue system"
+  | Modulus_conflict id ->
+    Format.fprintf ppf
+      "switch ID %d shares a factor with the existing route modulus" id
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+let coprime a b = gcd_int (abs a) (abs b) = 1
+
+let pairwise_coprime ids =
+  let rec outer = function
+    | [] -> Ok ()
+    | id :: rest ->
+      if id <= 0 then Error (Nonpositive_modulus id)
+      else begin
+        let rec inner = function
+          | [] -> outer rest
+          | other :: more ->
+            if not (coprime id other) then Error (Not_pairwise_coprime (id, other))
+            else inner more
+        in
+        inner rest
+      end
+  in
+  outer ids
+
+let modulus_product ids = Z.product (List.map Z.of_int ids)
+
+let validate residues =
+  if residues = [] then Error Empty_system
+  else begin
+    let rec check = function
+      | [] -> pairwise_coprime (List.map (fun r -> r.modulus) residues)
+      | r :: rest ->
+        if r.modulus <= 1 then Error (Nonpositive_modulus r.modulus)
+        else if r.value < 0 || r.value >= r.modulus then Error (Residue_out_of_range r)
+        else check rest
+    in
+    check residues
+  end
+
+(* Direct CRT summation (paper Eq. 4): R = < sum p_i * M_i * L_i >_M with
+   M_i = M / s_i and L_i = <M_i^{-1}>_{s_i}. *)
+let crt_sum residues =
+  let m = modulus_product (List.map (fun r -> r.modulus) residues) in
+  let term acc r =
+    let s = Z.of_int r.modulus in
+    let mi = Z.div m s in
+    let li =
+      match Z.invmod mi s with
+      | Some inv -> inv
+      | None -> assert false (* validated pairwise coprime *)
+    in
+    Z.add acc (Z.mul (Z.of_int r.value) (Z.mul mi li))
+  in
+  let total = List.fold_left term Z.zero residues in
+  (Z.erem total m, m)
+
+let encode residues =
+  match validate residues with
+  | Error _ as e -> e
+  | Ok () -> Ok (crt_sum residues)
+
+let encode_exn residues =
+  match encode residues with
+  | Ok v -> v
+  | Error e -> invalid_arg ("Rns.encode: " ^ error_to_string e)
+
+(* Garner's algorithm: build the value as a mixed-radix expansion
+   R = d_1 + d_2*s_1 + d_3*s_1*s_2 + ...; each digit needs only one modular
+   inverse modulo a single small s_i. *)
+let garner_digits residues =
+  let rec go acc prefix_product digits = function
+    | [] -> List.rev digits
+    | r :: rest ->
+      let s = Z.of_int r.modulus in
+      (* digit = (p_i - acc) * prefix_product^{-1} mod s_i *)
+      let inv =
+        match Z.invmod prefix_product s with
+        | Some inv -> inv
+        | None -> assert false
+      in
+      let d = Z.erem (Z.mul (Z.sub (Z.of_int r.value) acc) inv) s in
+      let acc = Z.add acc (Z.mul d prefix_product) in
+      go acc (Z.mul prefix_product s) (d :: digits) rest
+  in
+  go Z.zero Z.one [] residues
+
+let encode_garner residues =
+  match validate residues with
+  | Error _ as e -> e
+  | Ok () ->
+    let digits = garner_digits residues in
+    let value, modulus =
+      List.fold_left2
+        (fun (acc, prod) d r ->
+          (Z.add acc (Z.mul d prod), Z.mul prod (Z.of_int r.modulus)))
+        (Z.zero, Z.one) digits residues
+    in
+    Ok (value, modulus)
+
+let mixed_radix residues =
+  match validate residues with
+  | Error _ as e -> e
+  | Ok () -> Ok (garner_digits residues)
+
+let port route_id switch_id =
+  if switch_id <= 0 then invalid_arg "Rns.port: switch ID must be positive";
+  Z.to_int_exn (Z.erem route_id (Z.of_int switch_id))
+
+let decode route_id ids = List.map (port route_id) ids
+
+let extend ~route_id ~modulus extra =
+  match validate extra with
+  | Error _ as e -> e
+  | Ok () ->
+    (* Also require the new moduli to be coprime with the existing one. *)
+    let conflict =
+      List.find_opt
+        (fun r -> not (Z.equal (Z.gcd modulus (Z.of_int r.modulus)) Z.one))
+        extra
+    in
+    (match conflict with
+     | Some r -> Error (Modulus_conflict r.modulus)
+     | None ->
+       (* Combine (route_id mod modulus) with each new residue by pairwise
+          CRT: R' = route_id + modulus * t where
+          t = (p - route_id) * modulus^{-1} mod s. *)
+       let step (rid, m) r =
+         let s = Z.of_int r.modulus in
+         let inv =
+           match Z.invmod m s with Some inv -> inv | None -> assert false
+         in
+         let t = Z.erem (Z.mul (Z.sub (Z.of_int r.value) rid) inv) s in
+         (Z.add rid (Z.mul m t), Z.mul m s)
+       in
+       Ok (List.fold_left step (route_id, modulus) extra))
+
+let bit_length_bound m =
+  if Z.compare m Z.one <= 0 then 0 else Z.bit_length (Z.sub m Z.one)

@@ -1,0 +1,82 @@
+(** Residue Number System encoding for KAR route identifiers.
+
+    A KAR route is the pair of a modulus set [S = {s_1, ..., s_N}] (the
+    pairwise-coprime switch IDs on the desired path, plus any protection
+    switches) and a residue set [P = {p_1, ..., p_N}] (the output-port index
+    each of those switches must use).  The route ID is the unique
+    [R in [0, M)], [M = prod s_i], with [R mod s_i = p_i] — reconstructed by
+    the Chinese Remainder Theorem (paper Eq. 4-8).
+
+    Switch IDs and ports are small native integers in this API; route IDs
+    are {!Bignum.Z.t} since [M] grows with the number of protected
+    switches. *)
+
+module Z = Bignum.Z
+
+type residue = {
+  modulus : int; (* switch ID, pairwise coprime with the others *)
+  value : int; (* output port index, 0 <= value < modulus *)
+}
+
+type error =
+  | Not_pairwise_coprime of int * int (* the offending pair *)
+  | Residue_out_of_range of residue
+  | Nonpositive_modulus of int
+  | Empty_system
+  | Modulus_conflict of int (* new switch ID shares a factor with the
+                               existing route modulus (see {!extend}) *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** [coprime a b] is [true] iff [gcd a b = 1]. *)
+val coprime : int -> int -> bool
+
+(** [pairwise_coprime ids] is [Ok ()] or the first offending pair.  O(n^2)
+    gcds; the sets here are small (path lengths). *)
+val pairwise_coprime : int list -> (unit, error) result
+
+(** [modulus_product ids] is [M = prod ids] (Eq. 1). *)
+val modulus_product : int list -> Z.t
+
+(** [encode residues] is [Ok (route_id, m)] where [route_id] is the CRT
+    reconstruction (Eq. 4) and [m] the modulus product, or an [error] when
+    the system is invalid. *)
+val encode : residue list -> (Z.t * Z.t, error) result
+
+(** [encode_exn residues] is [encode], raising [Invalid_argument] with the
+    rendered error. *)
+val encode_exn : residue list -> Z.t * Z.t
+
+(** [encode_garner residues] reconstructs the same route ID with Garner's
+    mixed-radix algorithm — fewer large multiplications than the direct CRT
+    summation; used as an ablation and a cross-check. *)
+val encode_garner : residue list -> (Z.t * Z.t, error) result
+
+(** [decode route_id ids] extracts the output port at each switch:
+    [R mod s_i] (Eq. 3, the data-plane operation). *)
+val decode : Z.t -> int list -> int list
+
+(** [port route_id switch_id] is the single-switch forwarding computation
+    [<R>_s].  This is all a KAR core switch ever evaluates. *)
+val port : Z.t -> int -> int
+
+(** [extend ~route_id ~modulus extra] folds additional residues into an
+    existing route ID without re-encoding the original residues: the result
+    [R'] satisfies [R' mod m = route_id] for the old system and the new
+    residues.  This implements incremental driven-deflection protection
+    (adding path segments to an already computed route).  Returns the new
+    [(route_id, modulus)]. *)
+val extend : route_id:Z.t -> modulus:Z.t -> residue list -> (Z.t * Z.t, error) result
+
+(** [bit_length_bound m] is the number of bits needed to store any route ID
+    in [\[0, m)] — the paper's Eq. 9 bound on the field width.  (Eq. 9's
+    literal [ceil (log2 (m - 1))] under-counts by one exactly when [m - 1]
+    is a power of two, since the ID can be [m - 1] itself; all Table 1
+    values agree under both readings.)  0 for [m <= 1]. *)
+val bit_length_bound : Z.t -> int
+
+(** [mixed_radix residues] is the mixed-radix digit expansion of the encoded
+    value with respect to the moduli order given (Garner coefficients);
+    exposed for tests and the encoding ablation. *)
+val mixed_radix : residue list -> (Z.t list, error) result

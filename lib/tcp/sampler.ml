@@ -1,0 +1,37 @@
+type t = { bin_s : float; mutable bytes : float array }
+
+let create ~bin_s () =
+  if bin_s <= 0.0 then invalid_arg "Sampler.create: bin must be positive";
+  { bin_s; bytes = Array.make 64 0.0 }
+
+let ensure s idx =
+  if idx >= Array.length s.bytes then begin
+    let bigger = Array.make (max (idx + 1) (2 * Array.length s.bytes)) 0.0 in
+    Array.blit s.bytes 0 bigger 0 (Array.length s.bytes);
+    s.bytes <- bigger
+  end
+
+let add s ~time ~bytes =
+  if time < 0.0 then invalid_arg "Sampler.add: negative time";
+  let idx = int_of_float (time /. s.bin_s) in
+  ensure s idx;
+  s.bytes.(idx) <- s.bytes.(idx) +. float_of_int bytes
+
+let mbps_of_bytes s b = b *. 8.0 /. s.bin_s /. 1e6
+
+let series_mbps s ~until =
+  let n = int_of_float (ceil (until /. s.bin_s)) in
+  List.init n (fun i ->
+      if i < Array.length s.bytes then mbps_of_bytes s s.bytes.(i) else 0.0)
+
+let mean_mbps s ~from_s ~until =
+  if until <= from_s then invalid_arg "Sampler.mean_mbps: empty window";
+  let first = int_of_float (from_s /. s.bin_s) in
+  let last = int_of_float (ceil (until /. s.bin_s)) - 1 in
+  let total = ref 0.0 in
+  for i = first to last do
+    if i >= 0 && i < Array.length s.bytes then total := !total +. s.bytes.(i)
+  done;
+  !total *. 8.0 /. (until -. from_s) /. 1e6
+
+let bin_s s = s.bin_s

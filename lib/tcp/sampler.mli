@@ -1,0 +1,20 @@
+(** Windowed goodput sampling: bytes delivered in-order per time bin,
+    reported in Mb/s — the quantity plotted in the paper's Fig. 4/5/7. *)
+
+type t
+
+(** [create ~bin_s ()] starts a sampler with bins of [bin_s] seconds
+    anchored at time 0. *)
+val create : bin_s:float -> unit -> t
+
+(** [add s ~time ~bytes] credits [bytes] to the bin containing [time]. *)
+val add : t -> time:float -> bytes:int -> unit
+
+(** [series_mbps s ~until] is one value per bin from time 0 to [until]
+    (zero-filled where nothing was delivered). *)
+val series_mbps : t -> until:float -> float list
+
+(** [mean_mbps s ~from_s ~until] averages goodput over a time window. *)
+val mean_mbps : t -> from_s:float -> until:float -> float
+
+val bin_s : t -> float

@@ -1,0 +1,36 @@
+let node_name g v =
+  match Graph.kind g v with
+  | Graph.Core -> Printf.sprintf "SW%d" (Graph.label g v)
+  | Graph.Edge -> Printf.sprintf "AS%d" (Graph.label g v)
+
+let to_dot ?(highlight_links = []) ?(highlight_nodes = []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph kar {\n  node [shape=circle fontsize=10];\n";
+  Graph.iter_nodes g ~f:(fun v ->
+      let style =
+        if List.mem v highlight_nodes then " [style=bold color=red]"
+        else
+          match Graph.kind g v with
+          | Graph.Edge -> " [shape=box]"
+          | Graph.Core -> ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %s%s;\n" (node_name g v) style));
+  List.iter
+    (fun l ->
+      let extra =
+        if List.mem l.Graph.id highlight_links then " [style=bold color=red]" else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -- %s [label=\"%d:%d\"]%s;\n"
+           (node_name g l.Graph.ep0.node)
+           (node_name g l.Graph.ep1.node)
+           l.Graph.ep0.port l.Graph.ep1.port extra))
+    (Graph.links g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_dot ?highlight_links ?highlight_nodes path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?highlight_links ?highlight_nodes g))

@@ -1,0 +1,19 @@
+(** Graphviz export, for inspecting reconstructed topologies. *)
+
+(** [to_dot ?highlight_links ?highlight_nodes g] renders an undirected DOT
+    graph; node names are [SW<label>] for core switches and [AS<label>] for
+    edge nodes.  Highlighted elements are drawn bold/red (used to show
+    primary routes and protection paths). *)
+val to_dot :
+  ?highlight_links:Graph.link_id list ->
+  ?highlight_nodes:Graph.node list ->
+  Graph.t ->
+  string
+
+(** [write_dot path g] writes {!to_dot} output to a file. *)
+val write_dot :
+  ?highlight_links:Graph.link_id list ->
+  ?highlight_nodes:Graph.node list ->
+  string ->
+  Graph.t ->
+  unit

@@ -1,0 +1,120 @@
+let nodes_1n b n = List.init n (fun i -> Graph.Builder.add_node b (i + 1))
+
+let line n =
+  if n <= 0 then invalid_arg "Gen.line: need at least one node";
+  let b = Graph.Builder.create () in
+  let vs = Array.of_list (nodes_1n b n) in
+  for i = 0 to n - 2 do
+    ignore (Graph.Builder.add_link b vs.(i) vs.(i + 1))
+  done;
+  Graph.Builder.finish b
+
+let ring n =
+  if n < 3 then invalid_arg "Gen.ring: need at least three nodes";
+  let b = Graph.Builder.create () in
+  let vs = Array.of_list (nodes_1n b n) in
+  for i = 0 to n - 1 do
+    ignore (Graph.Builder.add_link b vs.(i) vs.((i + 1) mod n))
+  done;
+  Graph.Builder.finish b
+
+let grid ~w ~h =
+  if w <= 0 || h <= 0 then invalid_arg "Gen.grid: dimensions must be positive";
+  let b = Graph.Builder.create () in
+  let vs = Array.of_list (nodes_1n b (w * h)) in
+  let at x y = vs.((y * w) + x) in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x < w - 1 then ignore (Graph.Builder.add_link b (at x y) (at (x + 1) y));
+      if y < h - 1 then ignore (Graph.Builder.add_link b (at x y) (at x (y + 1)))
+    done
+  done;
+  Graph.Builder.finish b
+
+let complete n =
+  if n <= 0 then invalid_arg "Gen.complete: need at least one node";
+  let b = Graph.Builder.create () in
+  let vs = Array.of_list (nodes_1n b n) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      ignore (Graph.Builder.add_link b vs.(i) vs.(j))
+    done
+  done;
+  Graph.Builder.finish b
+
+let torus ~w ~h =
+  if w < 3 || h < 3 then invalid_arg "Gen.torus: dimensions must be >= 3";
+  let b = Graph.Builder.create () in
+  let vs = Array.of_list (nodes_1n b (w * h)) in
+  let at x y = vs.(((y mod h) * w) + (x mod w)) in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      ignore (Graph.Builder.add_link b (at x y) (at (x + 1) y));
+      ignore (Graph.Builder.add_link b (at x y) (at x (y + 1)))
+    done
+  done;
+  Graph.Builder.finish b
+
+let max_connectivity_attempts = 100
+
+let random_graph ~n ~seed ~connect_prob =
+  if n <= 1 then invalid_arg "Gen.random_graph: need at least two nodes";
+  let rec attempt k rng =
+    if k > max_connectivity_attempts then
+      failwith "Gen: no connected sample found; raise p or the density"
+    else begin
+      let b = Graph.Builder.create () in
+      let vs = Array.of_list (nodes_1n b n) in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Util.Prng.float rng < connect_prob i j then
+            ignore (Graph.Builder.add_link b vs.(i) vs.(j))
+        done
+      done;
+      let g = Graph.Builder.finish b in
+      if Paths.is_connected g then g else attempt (k + 1) rng
+    end
+  in
+  attempt 1 (Util.Prng.of_int seed)
+
+let gnp ~n ~p ~seed =
+  if p < 0.0 || p > 1.0 then invalid_arg "Gen.gnp: p out of range";
+  random_graph ~n ~seed ~connect_prob:(fun _ _ -> p)
+
+let waxman ~n ~alpha ~beta ~seed =
+  if alpha <= 0.0 || beta <= 0.0 then invalid_arg "Gen.waxman: parameters must be positive";
+  let rng = Util.Prng.of_int (seed lxor 0x5bd1e995) in
+  let xs = Array.init n (fun _ -> Util.Prng.float rng) in
+  let ys = Array.init n (fun _ -> Util.Prng.float rng) in
+  let dist i j = sqrt (((xs.(i) -. xs.(j)) ** 2.0) +. ((ys.(i) -. ys.(j)) ** 2.0)) in
+  let l = sqrt 2.0 in
+  random_graph ~n ~seed ~connect_prob:(fun i j ->
+      alpha *. exp (-.dist i j /. (beta *. l)))
+
+let with_edge_hosts g attach =
+  let b = Graph.Builder.create () in
+  let max_label =
+    Graph.fold_nodes g ~init:0 ~f:(fun acc v -> max acc (Graph.label g v))
+  in
+  (* Recreate nodes in index order so node indices are preserved. *)
+  Graph.iter_nodes g ~f:(fun v ->
+      ignore
+        (Graph.Builder.add_node b ~kind:(Graph.kind g v) (Graph.label g v)));
+  List.iter
+    (fun l ->
+      ignore
+        (Graph.Builder.add_link_at b ~rate_bps:l.Graph.rate_bps
+           ~delay_s:l.Graph.delay_s
+           (l.Graph.ep0.node, l.Graph.ep0.port)
+           (l.Graph.ep1.node, l.Graph.ep1.port)))
+    (Graph.links g);
+  let base = max max_label 999 + 1 in
+  let hosts =
+    List.mapi
+      (fun i core ->
+        let host = Graph.Builder.add_node b ~kind:Graph.Edge (base + i) in
+        ignore (Graph.Builder.add_link b core host);
+        host)
+      attach
+  in
+  (Graph.Builder.finish b, hosts)

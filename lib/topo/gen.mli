@@ -1,0 +1,41 @@
+(** Synthetic topology generators.
+
+    These feed the scalability and ablation studies (route-ID bit growth
+    versus network size, deflection behaviour on regular versus random
+    graphs).  Generated nodes are all [Core] kind and carry placeholder
+    labels [1 .. n]; run a {e switch-ID assignment} (in the [kar] library)
+    before encoding routes, since placeholder labels are not pairwise
+    coprime. *)
+
+(** [line n] is a path graph of [n] nodes. *)
+val line : int -> Graph.t
+
+(** [ring n] is a cycle of [n >= 3] nodes. *)
+val ring : int -> Graph.t
+
+(** [grid ~w ~h] is a [w*h] mesh. *)
+val grid : w:int -> h:int -> Graph.t
+
+(** [complete n] is the complete graph on [n] nodes. *)
+val complete : int -> Graph.t
+
+(** [torus ~w ~h] is a wrap-around mesh (every node degree 4; [w, h >= 3]). *)
+val torus : w:int -> h:int -> Graph.t
+
+(** [gnp ~n ~p ~seed] is an Erdos-Renyi random graph conditioned on
+    connectivity: edges are re-sampled (up to a bounded number of attempts)
+    until the graph is connected.
+    @raise Failure if no connected sample is found. *)
+val gnp : n:int -> p:float -> seed:int -> Graph.t
+
+(** [waxman ~n ~alpha ~beta ~seed] places nodes uniformly in the unit square
+    and connects with the Waxman probability model — the standard generator
+    for ISP-like topologies (long links are rarer).  Conditioned on
+    connectivity like {!gnp}. *)
+val waxman : n:int -> alpha:float -> beta:float -> seed:int -> Graph.t
+
+(** [with_edge_hosts g attach] returns a copy of [g] with one [Edge] host
+    attached to each listed core node; the new hosts get labels
+    [1000, 1001, ...] above the maximum core label.  Returns the new graph
+    and the host nodes in order. *)
+val with_edge_hosts : Graph.t -> Graph.node list -> Graph.t * Graph.node list

@@ -1,0 +1,235 @@
+type failure_case = { name : string; link : Graph.link_id }
+
+type scenario = {
+  graph : Graph.t;
+  ingress : Graph.node;
+  egress : Graph.node;
+  primary : int list;
+  partial_protection : (int * int) list;
+  full_protection : (int * int) list;
+  failures : failure_case list;
+}
+
+(* Port numbering is part of a topology.  Inserting links in a systematic
+   order gives systematically aligned port numbers (e.g. "port 1 faces the
+   destination" at every switch), which lets a route ID accidentally encode
+   useful ports at switches that are not in it at all — hiding the
+   difference between protection levels.  Real cabling is arbitrary, so the
+   reconstructions add their links in a deterministically shuffled order. *)
+let shuffled_links seed links =
+  let arr = Array.of_list links in
+  Util.Prng.shuffle (Util.Prng.of_int seed) arr;
+  Array.to_list arr
+
+let fig1_source_label = 1
+let fig1_dest_label = 2
+
+let fig1_six =
+  let b = Graph.Builder.create () in
+  let s = Graph.Builder.add_node b ~kind:Graph.Edge fig1_source_label in
+  let d = Graph.Builder.add_node b ~kind:Graph.Edge fig1_dest_label in
+  let sw4 = Graph.Builder.add_node b 4 in
+  let sw5 = Graph.Builder.add_node b 5 in
+  let sw7 = Graph.Builder.add_node b 7 in
+  let sw11 = Graph.Builder.add_node b 11 in
+  (* Port numbers are pinned to reproduce the paper's worked example:
+     <44>_4 = 0 faces SW7, <44>_7 = 2 faces SW11, <44>_11 = 0 faces D,
+     <660>_5 = 0 faces SW11; SW7's deflection alternatives on a SW7-SW11
+     failure are port 0 (SW4) and port 1 (SW5). *)
+  ignore (Graph.Builder.add_link_at b (s, 0) (sw4, 1));
+  ignore (Graph.Builder.add_link_at b (sw4, 0) (sw7, 0));
+  ignore (Graph.Builder.add_link_at b (sw7, 1) (sw5, 1));
+  let l7_11 = Graph.Builder.add_link_at b (sw7, 2) (sw11, 1) in
+  ignore (Graph.Builder.add_link_at b (sw5, 0) (sw11, 2));
+  ignore (Graph.Builder.add_link_at b (sw11, 0) (d, 0));
+  let graph = Graph.Builder.finish b in
+  {
+    graph;
+    ingress = s;
+    egress = d;
+    primary = [ 4; 7; 11 ];
+    partial_protection = [ (5, 11) ];
+    full_protection = [];
+    failures = [ { name = "SW7-SW11"; link = l7_11 } ];
+  }
+
+(* 15-node experimental network (paper Fig. 2/3 reconstruction).
+
+   Pairwise-coprime switch IDs; chosen so that the Table 1 bit lengths come
+   out exactly: primary product 10*7*13*29 needs 15 bits; partial adds
+   11*19*31 (28 bits total); full additionally 17*37*43 (43 bits total). *)
+let net15 =
+  let b = Graph.Builder.create () in
+  let core = Hashtbl.create 16 in
+  List.iter
+    (fun id -> Hashtbl.replace core id (Graph.Builder.add_node b id))
+    [ 3; 7; 10; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53 ];
+  let n id = Hashtbl.find core id in
+  let as1 = Graph.Builder.add_node b ~kind:Graph.Edge 1001 in
+  let as2 = Graph.Builder.add_node b ~kind:Graph.Edge 1002 in
+  let as3 = Graph.Builder.add_node b ~kind:Graph.Edge 1003 in
+  (* All links run at the paper's nominal 200 Mb/s, as a Mininet testbed
+     would configure them; deflection penalties then come purely from path
+     inflation and packet disorder, the effects Fig. 4/5 measure. *)
+  let primary = 200e6 and mesh = 200e6 in
+  let core_links =
+    shuffled_links 0x15ca1e
+      [
+        (primary, 10, 7); (primary, 7, 13); (primary, 13, 29);
+        (mesh, 10, 11); (mesh, 10, 17); (mesh, 10, 37);
+        (mesh, 11, 13); (mesh, 11, 3);
+        (mesh, 7, 19); (mesh, 7, 3);
+        (mesh, 19, 13); (mesh, 19, 3);
+        (mesh, 3, 23);
+        (mesh, 13, 31); (mesh, 13, 41); (mesh, 13, 47); (mesh, 13, 17);
+        (mesh, 31, 29);
+        (mesh, 41, 43); (mesh, 47, 43); (mesh, 43, 29); (mesh, 43, 37);
+        (mesh, 17, 37);
+        (mesh, 53, 23); (mesh, 53, 47);
+        (mesh, 23, 29);
+      ]
+  in
+  ignore (Graph.Builder.add_link b ~rate_bps:primary as1 (n 10));
+  ignore (Graph.Builder.add_link b ~rate_bps:primary (n 29) as3);
+  ignore (Graph.Builder.add_link b ~rate_bps:primary (n 23) as2);
+  List.iter
+    (fun (rate, u, v) ->
+      ignore (Graph.Builder.add_link b ~rate_bps:rate (n u) (n v)))
+    core_links;
+  let graph = Graph.Builder.finish b in
+  let l10_7 = Graph.link_between_labels graph 10 7 in
+  let l7_13 = Graph.link_between_labels graph 7 13 in
+  let l13_29 = Graph.link_between_labels graph 13 29 in
+  {
+    graph;
+    ingress = as1;
+    egress = as3;
+    primary = [ 10; 7; 13; 29 ];
+    partial_protection = [ (11, 13); (19, 13); (31, 29) ];
+    full_protection = [ (17, 13); (37, 43); (43, 29) ];
+    failures =
+      [
+        { name = "SW10-SW7"; link = l10_7 };
+        { name = "SW7-SW13"; link = l7_13 };
+        { name = "SW13-SW29"; link = l13_29 };
+      ];
+  }
+
+(* RNP backbone reconstruction: 28 PoPs (IDs = primes 7..127), 40 links.
+
+   Every adjacency named in section 3.2 of the paper is present:
+   SW7-{11,13}; SW13 adjacent to 7,41,29,17,47,37,71 (so a SW13-SW41
+   failure deflects to one of five candidates); SW41 adjacent to
+   13,73,17,61 (a SW41-SW73 failure deflects to 17 or 61); the protection
+   links 17-71, 61-67, 67-71, 71-73; and the Fig. 8 cluster
+   73-{107,109}, 107-113, 109-113 with SW107/SW109 of degree two.  Link
+   rates are tiered to mimic the heterogeneous RNP capacities. *)
+let rnp_graph_and_links ~east_host () =
+  let b = Graph.Builder.create () in
+  let core = Hashtbl.create 32 in
+  List.iter
+    (fun id -> Hashtbl.replace core id (Graph.Builder.add_node b id))
+    [ 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67; 71; 73;
+      79; 83; 89; 97; 101; 103; 107; 109; 113; 127 ];
+  let n id = Hashtbl.find core id in
+  (* Hosts are attached only at the experiment's endpoints, as in the
+     paper's emulation: Boa Vista plus either Sao Paulo (Fig. 6/7) or the
+     Fig. 8 destination SW113. *)
+  let as_north = Graph.Builder.add_node b ~kind:Graph.Edge 1001 in
+  let as_far =
+    Graph.Builder.add_node b ~kind:Graph.Edge (if east_host then 1003 else 1002)
+  in
+  (* Rates and delays proportional to the real RNP's heterogeneous
+     capacities and distances: the northern access around Boa Vista is the
+     slow tier (200 Mb/s, 2 ms — it is also the measured flow's nominal
+     rate); regional legs run 1 Gb/s at 1 ms; the southern core 3 Gb/s at
+     0.5 ms.  Deflected packets therefore never congest the backbone —
+     their cost is path inflation and disorder, as in the paper. *)
+  let north = (200e6, 2e-3) and regional = (1e9, 1e-3) and backbone = (3e9, 0.5e-3) in
+  let core_links =
+    shuffled_links 0xb4a21
+      [
+        (north, 7, 13); (backbone, 13, 41); (backbone, 41, 73);
+        (backbone, 73, 107); (backbone, 107, 113); (backbone, 73, 109);
+        (backbone, 109, 113);
+        (* protection mesh around the primary route *)
+        (regional, 7, 11); (regional, 11, 17); (regional, 13, 17);
+        (backbone, 17, 71); (backbone, 17, 41); (regional, 41, 61);
+        (regional, 61, 67); (regional, 67, 71); (backbone, 71, 73);
+        (backbone, 13, 71);
+        (* regional links (wandering territory for deflected packets) *)
+        (regional, 13, 29); (regional, 13, 47); (regional, 13, 37);
+        (regional, 37, 71); (regional, 29, 47); (regional, 47, 43);
+        (regional, 43, 53); (regional, 53, 59); (regional, 59, 61);
+        (backbone, 71, 79); (backbone, 79, 83); (backbone, 83, 89);
+        (backbone, 89, 97);
+        (* southern/coastal ring and spurs *)
+        (regional, 29, 19); (regional, 19, 23); (regional, 23, 31);
+        (regional, 31, 37);
+        (backbone, 97, 101); (backbone, 101, 103); (backbone, 103, 113);
+        (backbone, 127, 113); (backbone, 127, 89); (regional, 53, 83);
+      ]
+  in
+  (let rate, delay = north in
+   ignore (Graph.Builder.add_link b ~rate_bps:rate ~delay_s:delay as_north (n 7)));
+  (let rate, delay = regional in
+   ignore
+     (Graph.Builder.add_link b ~rate_bps:rate ~delay_s:delay
+        (n (if east_host then 113 else 73))
+        as_far));
+  List.iter
+    (fun ((rate, delay), u, v) ->
+      ignore (Graph.Builder.add_link b ~rate_bps:rate ~delay_s:delay (n u) (n v)))
+    core_links;
+  let graph = Graph.Builder.finish b in
+  let l7_13 = Graph.link_between_labels graph 7 13 in
+  let l13_41 = Graph.link_between_labels graph 13 41 in
+  let l41_73 = Graph.link_between_labels graph 41 73 in
+  let l73_107 = Graph.link_between_labels graph 73 107 in
+  (graph, as_north, as_far, l7_13, l13_41, l41_73, l73_107)
+
+let rnp28 =
+  let graph, as_north, as_sp, l7_13, l13_41, l41_73, _ =
+    rnp_graph_and_links ~east_host:false ()
+  in
+  {
+    graph;
+    ingress = as_north;
+    egress = as_sp;
+    primary = [ 7; 13; 41; 73 ];
+    partial_protection = [ (17, 71); (61, 67); (67, 71); (71, 73) ];
+    full_protection = [];
+    failures =
+      [
+        { name = "SW7-SW13"; link = l7_13 };
+        { name = "SW13-SW41"; link = l13_41 };
+        { name = "SW41-SW73"; link = l41_73 };
+      ];
+  }
+
+let rnp_fig8 =
+  let graph, as_north, as_east, _, _, _, l73_107 =
+    rnp_graph_and_links ~east_host:true ()
+  in
+  {
+    graph;
+    ingress = as_north;
+    egress = as_east;
+    primary = [ 7; 13; 41; 73; 107; 113 ];
+    partial_protection = [ (71, 17); (17, 41) ];
+    full_protection = [];
+    failures = [ { name = "SW73-SW107"; link = l73_107 } ];
+  }
+
+let protection_residues g hops =
+  List.map
+    (fun (s_label, next_label) ->
+      let s = Graph.node_of_label g s_label in
+      let next = Graph.node_of_label g next_label in
+      match Graph.port_towards g s next with
+      | Some p -> (s_label, p)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Nets.protection_residues: SW%d and SW%d not adjacent"
+             s_label next_label))
+    hops

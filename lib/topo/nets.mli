@@ -1,0 +1,72 @@
+(** The paper's evaluation topologies, reconstructed from the text.
+
+    The figures themselves are not machine-readable, so {!net15} and
+    {!rnp28} are reconstructions constrained by every number the text
+    states; DESIGN.md section 2 lists the constraints.  Each topology comes
+    with the scenario metadata the experiments need: the primary route, the
+    driven-deflection protection hops at each protection level, and the
+    failure links the paper exercises.
+
+    Protection is expressed as directed hops [(switch_label, next_label)]:
+    folding hop [(s, u)] into a route ID adds the residue
+    [port_of s toward u] at modulus [s] — exactly the paper's "adding new
+    nodes in the computation of the route ID". *)
+
+(** A named failure case: the label pair as the paper writes it
+    (e.g. ["SW7-SW13"]) and the link id in the graph. *)
+type failure_case = { name : string; link : Graph.link_id }
+
+(** Scenario bundle shared by all reconstructions. *)
+type scenario = {
+  graph : Graph.t;
+  ingress : Graph.node; (** edge host that stamps route IDs *)
+  egress : Graph.node; (** edge host that strips route IDs *)
+  primary : int list; (** core switch labels of the primary route, in order *)
+  partial_protection : (int * int) list;
+      (** directed protection hops for the paper's "partial protection" *)
+  full_protection : (int * int) list;
+      (** additional hops (on top of partial) for "full protection" *)
+  failures : failure_case list; (** the failure links the paper evaluates *)
+}
+
+(** {1 Fig. 1 — the worked example} *)
+
+(** Six-node network of Fig. 1: edge nodes S and D, switches
+    {4, 5, 7, 11}, with port numbers pinned so that the paper's route IDs
+    44 (primary) and 660 (protected) forward exactly as printed. *)
+val fig1_six : scenario
+
+(** Labels of the two edge nodes in {!fig1_six}. *)
+val fig1_source_label : int
+
+val fig1_dest_label : int
+
+(** {1 Section 3.1 — the 15-node experimental network} *)
+
+(** 15 core switches (IDs pairwise coprime:
+    3 7 10 11 13 17 19 23 29 31 37 41 43 47 53) plus three edge ASes.
+    Primary route AS1 -> 10 -> 7 -> 13 -> 29 -> AS3.  Partial protection
+    adds hops 11->13, 19->13, 31->29 (7 switches in the route ID, 28-bit
+    bound); full protection additionally 17->13, 37->43, 43->29
+    (10 switches, 43-bit bound), matching Table 1. *)
+val net15 : scenario
+
+(** {1 Section 3.2 — the RNP national backbone} *)
+
+(** 28 points of presence (IDs = the 28 primes 7..127) and 40 links, with
+    heterogeneous link rates.  Primary route 7 (Boa Vista) -> 13 -> 41 ->
+    73 (Sao Paulo); partial protection hops 17->71, 61->67, 67->71, 71->73
+    as in Fig. 6.  Failure cases: SW7-SW13, SW13-SW41, SW41-SW73. *)
+val rnp28 : scenario
+
+(** The Fig. 8 worst case on the same RNP graph: route
+    7 -> 13 -> 41 -> 73 -> 107 -> 113 with protection hops 71->17 and
+    17->41, failing link SW73-SW107; deflected packets loop
+    73 -> 71 -> 17 -> 41 -> 73 until SW109 is chosen. *)
+val rnp_fig8 : scenario
+
+(** [protection_residues g hops] converts directed protection hops into
+    RNS residues [(switch_id, port)] for encoding.
+    @raise Not_found if a label is absent, [Invalid_argument] if a hop pair
+    is not adjacent. *)
+val protection_residues : Graph.t -> (int * int) list -> (int * int) list

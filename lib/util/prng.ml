@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed = { state = seed }
+let of_int seed = create (Int64.of_int seed)
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let seed = next g in
+  create (mix (Int64.add seed 0x8E38C9A939FF7CB1L))
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Reject to avoid modulo bias; bound is tiny in practice, so the
+     rejection loop terminates almost immediately. *)
+  let mask_bits v =
+    let rec go m = if m >= v then m else go ((m * 2) + 1) in
+    go 1
+  in
+  let m = mask_bits (bound - 1) in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (next g) 0x7FFFFFFFFFFFFFFFL) land m in
+    if v < bound then v else draw ()
+  in
+  if bound = 1 then 0 else draw ()
+
+let float g =
+  let bits = Int64.shift_right_logical (next g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let bool g = Int64.logand (next g) 1L = 1L
+
+let exponential g ~mean =
+  let u = float g in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let choice g arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice: empty array";
+  arr.(int g (Array.length arr))
+
+let choice_list g l =
+  match l with
+  | [] -> invalid_arg "Prng.choice_list: empty list"
+  | _ -> List.nth l (int g (List.length l))
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

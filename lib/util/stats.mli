@@ -1,0 +1,36 @@
+(** Small statistics toolkit for the experiment harness: the paper reports
+    mean TCP throughput with 95 % confidence intervals over 30 iperf runs
+    (Fig. 5/7); this module provides exactly those summaries. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float; (* sample standard deviation (n-1 denominator) *)
+  ci95 : float; (* half-width of the 95 % Student-t confidence interval *)
+  min : float;
+  max : float;
+}
+
+(** [mean xs] of a non-empty list. *)
+val mean : float list -> float
+
+(** [stddev xs] sample standard deviation; 0 for fewer than two samples. *)
+val stddev : float list -> float
+
+(** [summarize xs] computes all summary fields.
+    @raise Invalid_argument on the empty list. *)
+val summarize : float list -> summary
+
+(** [t_critical_95 df] is the two-sided 95 % Student-t critical value for
+    [df] degrees of freedom (tabulated; converges to 1.96). *)
+val t_critical_95 : int -> float
+
+(** [percentile p xs] with [0 <= p <= 100], linear interpolation between
+    order statistics.  @raise Invalid_argument on the empty list. *)
+val percentile : float -> float list -> float
+
+(** [histogram ~bins ~lo ~hi xs] counts samples per equal-width bin;
+    out-of-range samples are clamped to the end bins. *)
+val histogram : bins:int -> lo:float -> hi:float -> float list -> int array
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,96 @@
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> width.(i) <- max width.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 256 in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < cols - 1 then
+          Buffer.add_string buf (String.make (width.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  let rule_len =
+    Array.fold_left ( + ) 0 width + (2 * (cols - 1))
+  in
+  Buffer.add_string buf (String.make (max 1 rule_len) '-');
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let render_kv pairs =
+  let rows = List.map (fun (k, v) -> [ k; v ]) pairs in
+  match pairs with
+  | [] -> ""
+  | _ ->
+    let key_width =
+      List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs
+    in
+    let buf = Buffer.create 128 in
+    List.iter
+      (fun row ->
+        match row with
+        | [ k; v ] ->
+          Buffer.add_string buf k;
+          Buffer.add_string buf (String.make (key_width - String.length k) ' ');
+          Buffer.add_string buf "  ";
+          Buffer.add_string buf v;
+          Buffer.add_char buf '\n'
+        | _ -> assert false)
+      rows;
+    Buffer.contents buf
+
+let spark_levels = [| " "; "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let spark values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let hi = List.fold_left Stdlib.max neg_infinity values in
+    let hi = if hi <= 0.0 then 1.0 else hi in
+    let buf = Buffer.create (List.length values * 3) in
+    List.iter
+      (fun v ->
+        let lvl =
+          int_of_float (Float.round (v /. hi *. 8.0)) |> Stdlib.max 0 |> Stdlib.min 8
+        in
+        Buffer.add_string buf spark_levels.(lvl))
+      values;
+    Buffer.contents buf
+
+let series ~label ~t0 ~dt values =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" label);
+  List.iteri
+    (fun i v ->
+      Buffer.add_string buf
+        (Printf.sprintf "%8.1f  %10.2f\n" (t0 +. (float_of_int i *. dt)) v))
+    values;
+  Buffer.contents buf
+
+let bar_chart rows =
+  match rows with
+  | [] -> ""
+  | _ ->
+    let label_width =
+      List.fold_left (fun acc (l, _, _) -> max acc (String.length l)) 0 rows
+    in
+    let hi = List.fold_left (fun acc (_, v, _) -> Stdlib.max acc v) 0.0 rows in
+    let hi = if hi <= 0.0 then 1.0 else hi in
+    let buf = Buffer.create 512 in
+    List.iter
+      (fun (label, v, ci) ->
+        let bar_len = int_of_float (v /. hi *. 40.0) |> Stdlib.max 0 in
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s  %s %8.2f +/- %.2f\n" label_width label
+             (String.make bar_len '#') v ci))
+      rows;
+    Buffer.contents buf

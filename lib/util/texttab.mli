@@ -1,0 +1,26 @@
+(** ASCII rendering of tables and series, shared by the benchmark harness,
+    the examples and EXPERIMENTS.md regeneration.  Keeps every experiment's
+    output in the same row/series format the paper's tables and figures
+    use. *)
+
+(** [render ~header rows] lays out a left-aligned ASCII table with a rule
+    under the header; column widths fit the widest cell. *)
+val render : header:string list -> string list list -> string
+
+(** [render_kv pairs] renders a two-column key/value table without a
+    header. *)
+val render_kv : (string * string) list -> string
+
+(** [spark values] renders a one-line unicode sparkline scaled to
+    [max values] (empty string for an empty list) — used to visualise
+    throughput-versus-time figures in terminal output. *)
+val spark : float list -> string
+
+(** [series ~label ~t0 ~dt values] renders a labelled time series as
+    aligned [time value] rows. *)
+val series : label:string -> t0:float -> dt:float -> float list -> string
+
+(** [bar_chart rows] renders labelled horizontal bars with values, scaled to
+    the maximum value; each row is [(label, value, ci_halfwidth)] and the CI
+    is printed alongside. *)
+val bar_chart : (string * float * float) list -> string

@@ -1,0 +1,115 @@
+module Z = Bignum.Z
+
+type t = {
+  version : int;
+  ttl : int;
+  route_id : Z.t;
+}
+
+let current_version = 1
+let max_words = 31
+let max_route_bits = max_words * 32
+
+type error =
+  | Truncated of { expected : int; got : int }
+  | Bad_version of int
+  | Bad_checksum
+  | Route_id_too_large of int
+  | Negative_route_id
+  | Bad_ttl of int
+
+let pp_error ppf = function
+  | Truncated { expected; got } ->
+    Format.fprintf ppf "truncated header: need %d bytes, have %d" expected got
+  | Bad_version v -> Format.fprintf ppf "unsupported header version %d" v
+  | Bad_checksum -> Format.fprintf ppf "header checksum mismatch"
+  | Route_id_too_large bits ->
+    Format.fprintf ppf "route ID of %d bits exceeds the %d-bit field" bits
+      max_route_bits
+  | Negative_route_id -> Format.fprintf ppf "route IDs are non-negative"
+  | Bad_ttl ttl -> Format.fprintf ppf "ttl %d is outside 0..255" ttl
+
+(* RFC 1071: sum 16-bit big-endian words (odd tail zero-padded) with
+   end-around carry, then complement. *)
+let checksum s =
+  let n = String.length s in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + ((Char.code s.[!i] lsl 8) lor Char.code s.[!i + 1]);
+    i := !i + 2
+  done;
+  if n land 1 = 1 then sum := !sum + (Char.code s.[n - 1] lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let words_needed route_id =
+  let bits = Z.bit_length route_id in
+  max 1 ((bits + 31) / 32)
+
+let encoded_size h =
+  if Z.sign h.route_id < 0 then Error Negative_route_id
+  else begin
+    let words = words_needed h.route_id in
+    if words > max_words then Error (Route_id_too_large (Z.bit_length h.route_id))
+    else Ok (4 + (4 * words))
+  end
+
+let encode h =
+  match encoded_size h with
+  | Error _ as e -> e
+  | Ok size ->
+    if h.version < 0 || h.version > 7 then Error (Bad_version h.version)
+    else if h.ttl < 0 || h.ttl > 255 then Error (Bad_ttl h.ttl)
+    else begin
+      let words = (size - 4) / 4 in
+      let buf = Bytes.make size '\000' in
+      Bytes.set buf 0 (Char.chr (((h.version land 0x7) lsl 5) lor words));
+      Bytes.set buf 1 (Char.chr h.ttl);
+      (* route ID, big-endian across the word area *)
+      let byte_base = Z.of_int 256 in
+      let v = ref h.route_id in
+      for i = size - 1 downto 4 do
+        Bytes.set buf i (Char.chr (Z.to_int_exn (Z.erem !v byte_base)));
+        v := Z.shift_right !v 8
+      done;
+      (* checksum over the header with the checksum field zeroed *)
+      let c = checksum (Bytes.to_string buf) in
+      Bytes.set buf 2 (Char.chr (c lsr 8));
+      Bytes.set buf 3 (Char.chr (c land 0xFF));
+      Ok (Bytes.to_string buf)
+    end
+
+let decode s =
+  let got = String.length s in
+  if got < 4 then Error (Truncated { expected = 4; got })
+  else begin
+    let b0 = Char.code s.[0] in
+    let version = b0 lsr 5 and words = b0 land 0x1F in
+    if version <> current_version then Error (Bad_version version)
+    else begin
+      let size = 4 + (4 * max 1 words) in
+      if got < size then Error (Truncated { expected = size; got })
+      else begin
+        let header = String.sub s 0 size in
+        (* verify: re-checksum with the field zeroed *)
+        let zeroed = Bytes.of_string header in
+        Bytes.set zeroed 2 '\000';
+        Bytes.set zeroed 3 '\000';
+        let want = (Char.code s.[2] lsl 8) lor Char.code s.[3] in
+        if checksum (Bytes.to_string zeroed) <> want then Error Bad_checksum
+        else begin
+          let ttl = Char.code s.[1] in
+          let route_id = ref Z.zero in
+          for i = 4 to size - 1 do
+            route_id := Z.add (Z.shift_left !route_id 8) (Z.of_int (Char.code s.[i]))
+          done;
+          Ok ({ version; ttl; route_id = !route_id }, size)
+        end
+      end
+    end
+  end
+
+let make ~ttl route_id = { version = current_version; ttl; route_id }

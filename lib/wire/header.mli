@@ -1,0 +1,68 @@
+(** The KAR packet header: the concrete bytes an ingress edge prepends and
+    core switches read.
+
+    The paper bounds the route-ID field by Eq. 9 but leaves the wire format
+    open ("this restriction should be considered for implementation
+    purposes"); this module fixes one:
+
+    {v
+     0        1        2        3
+     +--------+--------+--------+--------+
+     | ver/len|  ttl   |   checksum      |
+     +--------+--------+--------+--------+
+     |     route ID, big-endian,         |
+     |     len * 4 bytes                 |
+     +-----------------------------------+
+    v}
+
+    - [ver/len]: the top 3 bits are the format version (currently 1), the
+      low 5 bits the route-ID length in 32-bit words (1..31, so route IDs
+      up to 992 bits — far beyond any plausible protection set).
+    - [ttl]: decremented by every switch; deflected packets die at zero
+      instead of wandering forever.
+    - [checksum]: the 16-bit Internet checksum (RFC 1071) over the rest of
+      the header, so a corrupted route ID is dropped rather than
+      mis-forwarded — a mis-read route ID would silently misroute, the
+      worst failure mode for a scheme whose whole state is this integer.
+
+    The codec is total and allocation-light; encoding is deterministic
+    (minimal length words). *)
+
+type t = {
+  version : int;
+  ttl : int;
+  route_id : Bignum.Z.t;
+}
+
+val current_version : int
+
+(** Maximum representable route-ID bit length (31 words * 32 bits). *)
+val max_route_bits : int
+
+type error =
+  | Truncated of { expected : int; got : int }
+  | Bad_version of int
+  | Bad_checksum
+  | Route_id_too_large of int (** bit length that did not fit *)
+  | Negative_route_id
+  | Bad_ttl of int (** outside the 0..255 field range *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [encoded_size h] is the exact number of bytes {!encode} will produce. *)
+val encoded_size : t -> (int, error) result
+
+(** [encode h] serialises the header.
+    @raise Invalid_argument via [Result] never — errors are returned. *)
+val encode : t -> (string, error) result
+
+(** [decode s] parses a header from the start of [s] and returns it with
+    the number of bytes consumed (the payload follows). *)
+val decode : string -> (t * int, error) result
+
+(** [make ~ttl route_id] builds a current-version header. *)
+val make : ttl:int -> Bignum.Z.t -> t
+
+(** [checksum s] is the RFC 1071 16-bit one's-complement checksum (exposed
+    for tests). *)
+val checksum : string -> int

@@ -1,0 +1,81 @@
+module Net = Netsim.Net
+module Engine = Netsim.Engine
+module Packet = Netsim.Packet
+module Nets = Topo.Nets
+
+type result = {
+  sent : int;
+  received : int;
+  delivery_ratio : float;
+  mean_hops : float;
+  mean_latency_s : float;
+  reencoded : int;
+  reordering : Netsim.Reorder.metrics;
+}
+
+type Packet.payload += Probe of int (* send sequence *)
+
+let run sc ~policy ~level ~rate_pps ~duration_s ?failure ~seed () =
+  if rate_pps <= 0 then invalid_arg "Cbr.run: rate must be positive";
+  let engine = Engine.create () in
+  let net = Net.create ~graph:sc.Nets.graph ~engine () in
+  Netsim.Karnet.install_switches net ~policy ~seed;
+  let controller = Kar.Controller.create_cache sc.Nets.graph in
+  let received = ref 0
+  and hop_total = ref 0
+  and latency_total = ref 0.0
+  and reencoded = ref 0 in
+  let analyzer = Netsim.Reorder.create () in
+  List.iter
+    (fun v ->
+      Netsim.Karnet.install_edge net v
+        ~reencode:(fun packet ->
+          Kar.Controller.reencode controller ~at:v ~dst:packet.Packet.dst)
+        ~receive:(fun net packet ->
+          ignore net;
+          incr received;
+          (match packet.Packet.payload with
+           | Probe seq -> Netsim.Reorder.observe analyzer seq
+           | _ -> ());
+          hop_total := !hop_total + packet.Packet.hops;
+          latency_total :=
+            !latency_total +. (Engine.now engine -. packet.Packet.born);
+          if packet.Packet.reencoded > 0 then incr reencoded)
+        ())
+    (Topo.Graph.edge_nodes sc.Nets.graph);
+  (match failure with
+   | None -> ()
+   | Some fc -> Net.fail_link net fc.Nets.link);
+  let plan = Kar.Controller.scenario_plan sc level in
+  let interval = 1.0 /. float_of_int rate_pps in
+  let sent = ref 0 in
+  let rec emit t =
+    if t <= duration_s then
+      ignore
+        (Engine.schedule_at engine t (fun () ->
+             incr sent;
+             let packet =
+               Packet.make ~uid:(Net.fresh_uid net) ~src:sc.Nets.ingress
+                 ~dst:sc.Nets.egress ~size_bytes:1500
+                 ~route_id:plan.Kar.Route.route_id ~born:(Engine.now engine)
+                 (Probe !sent)
+             in
+             Net.inject net ~at:sc.Nets.ingress packet;
+             emit (t +. interval)))
+  in
+  emit 0.0;
+  (* generous drain window for wandering packets *)
+  Engine.run_until engine (duration_s +. 5.0);
+  {
+    sent = !sent;
+    received = !received;
+    delivery_ratio =
+      (if !sent = 0 then 0.0 else float_of_int !received /. float_of_int !sent);
+    mean_hops =
+      (if !received = 0 then nan
+       else float_of_int !hop_total /. float_of_int !received);
+    mean_latency_s =
+      (if !received = 0 then nan else !latency_total /. float_of_int !received);
+    reencoded = !reencoded;
+    reordering = Netsim.Reorder.metrics analyzer;
+  }

@@ -1,0 +1,32 @@
+(** Constant-bit-rate (UDP-like) workload: unacknowledged packets injected
+    at a fixed rate.  Measures raw delivery ratio, hop inflation and loss
+    under failures without TCP dynamics — the "packet loss avoidance"
+    claims of the paper's conclusion are checked with this generator. *)
+
+module Net = Netsim.Net
+
+type result = {
+  sent : int;
+  received : int;
+  delivery_ratio : float;
+  mean_hops : float; (** over received packets; [nan] if none *)
+  mean_latency_s : float; (** over received packets; [nan] if none *)
+  reencoded : int; (** received packets that had been edge re-encoded *)
+  reordering : Netsim.Reorder.metrics;
+      (** RFC 4737-style network reordering of the arrival stream *)
+}
+
+(** [run sc ~policy ~level ~rate_pps ~duration_s ~failure ~seed ()] injects
+    [rate_pps] packets per second from the scenario ingress to its egress
+    for [duration_s] seconds (plus drain time), with [failure] active from
+    the start when given. *)
+val run :
+  Topo.Nets.scenario ->
+  policy:Kar.Policy.t ->
+  level:Kar.Controller.level ->
+  rate_pps:int ->
+  duration_s:float ->
+  ?failure:Topo.Nets.failure_case ->
+  seed:int ->
+  unit ->
+  result

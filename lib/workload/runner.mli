@@ -1,0 +1,86 @@
+(** Scenario runners: the glue that turns a {!Topo.Nets.scenario} plus a
+    policy / protection / failure choice into measured TCP numbers.  Every
+    experiment and example builds on these two entry points:
+
+    - {!timeline} — one long-lived flow across a failure window (the
+      paper's Fig. 4 methodology: 30 s before, 30 s of failure, 30 s
+      after, goodput sampled in bins);
+    - {!iperf_reps} — independent repetitions of a short fresh-connection
+      transfer with the failure active throughout (the paper's Fig. 5/7/8
+      methodology: "we run the performance test iperf for 30 times,
+      duration of 5 seconds each, to obtain a confidence interval of
+      95%"). *)
+
+module Net = Netsim.Net
+
+(** Which data plane the core runs. *)
+type data_plane =
+  | Kar of Kar.Policy.t (** KAR switches with the given deflection policy *)
+  | Fast_failover (** the stateful baseline from {!Baselines.Fast_failover} *)
+
+(** What reacts to the failure besides the data plane itself. *)
+type reaction =
+  | Deflection (** KAR: the data plane is the whole reaction *)
+  | Controller_reroute of float
+      (** the classical SDN loop: after this notification delay the
+          controller re-stamps the ingress with a route avoiding the
+          failure (pair with [Kar No_deflection]) *)
+  | Ingress_failover of float
+      (** 1+1 protection: after this reaction delay the ingress switches
+          the flow to a precomputed edge-disjoint backup route ID *)
+
+type timeline_config = {
+  policy : data_plane;
+  level : Kar.Controller.level;
+  failure : Topo.Nets.failure_case option;
+  pre_s : float; (** seconds before the failure *)
+  fail_s : float; (** failure duration *)
+  post_s : float; (** seconds after repair *)
+  bin_s : float; (** goodput sampling bin *)
+  seed : int;
+  reaction : reaction;
+  detection_delay_s : float;
+      (** how long switches keep believing a dead link is alive (0 =
+          oracle detection, the paper's implicit assumption) *)
+  tcp : Tcp.Flow.config; (** sender/receiver parameters, incl. Reno/CUBIC *)
+}
+
+val default_timeline : timeline_config
+
+type timeline_result = {
+  series : float list; (** goodput per bin, Mb/s *)
+  mean_pre : float;
+  mean_onset : float;
+      (** goodput over the first second after the failure hits — the
+          reaction-time window where the schemes differ most *)
+  mean_fail : float;
+  mean_post : float;
+  flow : Tcp.Flow.stats;
+  net_deflections : int;
+  net_reencodes : int;
+  net_drops : int; (** all drop reasons summed *)
+}
+
+(** [timeline sc config] runs one long-lived flow ingress->egress. *)
+val timeline : Topo.Nets.scenario -> timeline_config -> timeline_result
+
+type iperf_config = {
+  policy : data_plane;
+  level : Kar.Controller.level;
+  failure : Topo.Nets.failure_case option; (** active for the whole run *)
+  reps : int;
+  rep_duration_s : float;
+  warmup_s : float; (** excluded from the mean (slow-start ramp) *)
+  seed : int;
+  tcp : Tcp.Flow.config;
+}
+
+val default_iperf : iperf_config
+
+(** [iperf_reps sc config] runs [reps] independent fresh-connection
+    transfers and summarises their mean goodputs (the Fig. 5/7 bars). *)
+val iperf_reps : Topo.Nets.scenario -> iperf_config -> Util.Stats.summary
+
+(** [one_iperf sc config ~seed] is a single repetition's mean goodput in
+    Mb/s. *)
+val one_iperf : Topo.Nets.scenario -> iperf_config -> seed:int -> float

@@ -1,0 +1,743 @@
+(* Tests for the KAR core library: the forwarding/deflection policies
+   (section 2.1 semantics), route encoding (section 2.2), protection
+   planning, switch-ID assignment, the controller, and the agreement
+   between the exact Markov analysis and the Monte-Carlo walker. *)
+
+module Z = Bignum.Z
+module Graph = Topo.Graph
+module Nets = Topo.Nets
+
+let qtest ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let rng () = Util.Prng.of_int 7
+
+(* --- Policy: exhaustive semantics on a synthetic 4-port switch --- *)
+
+let ports ?(down = []) ?(hosts = []) n =
+  Array.init n (fun p ->
+      { Kar.Policy.up = not (List.mem p down); to_host = List.mem p hosts })
+
+let view ?(deflected = false) ~route_id ~in_port () =
+  { Kar.Policy.route_id = Z.of_int route_id; in_port; deflected }
+
+(* switch_id 13, route_id r: computed port = r mod 13 *)
+
+let test_computed_port () =
+  Alcotest.(check int) "44 mod 4" 0 (Kar.Policy.computed_port ~switch_id:4 ~route_id:(Z.of_int 44));
+  Alcotest.(check int) "44 mod 7" 2 (Kar.Policy.computed_port ~switch_id:7 ~route_id:(Z.of_int 44));
+  Alcotest.(check int) "660 mod 5" 0 (Kar.Policy.computed_port ~switch_id:5 ~route_id:(Z.of_int 660))
+
+let test_none_forwards_valid () =
+  let d, defl =
+    Kar.Policy.forward Kar.Policy.No_deflection ~switch_id:13 ~ports:(ports 4)
+      ~packet:(view ~route_id:2 ~in_port:0 ()) (rng ())
+  in
+  Alcotest.(check bool) "forward 2" true (d = Kar.Policy.Forward 2);
+  Alcotest.(check bool) "not deflected" false defl
+
+let test_none_drops_invalid_port () =
+  (* route_id 7 mod 13 = 7 >= 4 ports: invalid *)
+  let d, _ =
+    Kar.Policy.forward Kar.Policy.No_deflection ~switch_id:13 ~ports:(ports 4)
+      ~packet:(view ~route_id:7 ~in_port:0 ()) (rng ())
+  in
+  Alcotest.(check bool) "drop" true (d = Kar.Policy.Drop)
+
+let test_none_drops_down_port () =
+  let d, _ =
+    Kar.Policy.forward Kar.Policy.No_deflection ~switch_id:13
+      ~ports:(ports ~down:[ 2 ] 4)
+      ~packet:(view ~route_id:2 ~in_port:0 ()) (rng ())
+  in
+  Alcotest.(check bool) "drop" true (d = Kar.Policy.Drop)
+
+let test_avp_uses_computed_even_if_input () =
+  (* computed = 2 = in_port: AVP still uses it ("allows to use its incoming
+     port as an outgoing port in any case") *)
+  let d, _ =
+    Kar.Policy.forward Kar.Policy.Any_valid_port ~switch_id:13 ~ports:(ports 4)
+      ~packet:(view ~route_id:2 ~in_port:2 ()) (rng ())
+  in
+  Alcotest.(check bool) "forward back out" true (d = Kar.Policy.Forward 2)
+
+let test_nip_never_uses_input () =
+  (* same situation: NIP must pick another port at random *)
+  let r = rng () in
+  for _ = 1 to 50 do
+    let d, defl =
+      Kar.Policy.forward Kar.Policy.Not_input_port ~switch_id:13 ~ports:(ports 4)
+        ~packet:(view ~route_id:2 ~in_port:2 ()) r
+    in
+    match d with
+    | Kar.Policy.Forward p ->
+      Alcotest.(check bool) "not input" true (p <> 2);
+      Alcotest.(check bool) "marked deflected" true defl
+    | Kar.Policy.Drop -> Alcotest.fail "should deflect, not drop"
+  done
+
+let test_nip_random_excludes_input_and_down () =
+  let r = rng () in
+  for _ = 1 to 50 do
+    let d, _ =
+      Kar.Policy.forward Kar.Policy.Not_input_port ~switch_id:13
+        ~ports:(ports ~down:[ 7 mod 13; 1 ] 4) (* computed invalid anyway *)
+        ~packet:(view ~route_id:7 ~in_port:0 ()) r
+    in
+    match d with
+    | Kar.Policy.Forward p ->
+      Alcotest.(check bool) "healthy, not input" true (p = 2 || p = 3)
+    | Kar.Policy.Drop -> Alcotest.fail "candidates exist"
+  done
+
+let test_nip_degree_one_returns () =
+  (* only the input port is healthy: NIP sends the packet back rather than
+     spinning (documented deviation from the paper's non-terminating
+     Algorithm 1) *)
+  let d, _ =
+    Kar.Policy.forward Kar.Policy.Not_input_port ~switch_id:13
+      ~ports:(ports ~down:[ 1; 2; 3 ] 4)
+      ~packet:(view ~route_id:7 ~in_port:0 ()) (rng ())
+  in
+  Alcotest.(check bool) "returns on input port" true (d = Kar.Policy.Forward 0)
+
+let test_hp_random_after_first_deflection () =
+  (* once deflected, HP ignores the computed port entirely *)
+  let r = rng () in
+  let seen = Hashtbl.create 4 in
+  for _ = 1 to 200 do
+    let d, defl =
+      Kar.Policy.forward Kar.Policy.Hot_potato ~switch_id:13 ~ports:(ports 4)
+        ~packet:(view ~deflected:true ~route_id:2 ~in_port:0 ()) r
+    in
+    Alcotest.(check bool) "stays deflected" true defl;
+    match d with
+    | Kar.Policy.Forward p -> Hashtbl.replace seen p ()
+    | Kar.Policy.Drop -> Alcotest.fail "healthy ports exist"
+  done;
+  Alcotest.(check int) "all four ports seen" 4 (Hashtbl.length seen)
+
+let test_hp_not_deflected_follows_modulo () =
+  let d, defl =
+    Kar.Policy.forward Kar.Policy.Hot_potato ~switch_id:13 ~ports:(ports 4)
+      ~packet:(view ~route_id:2 ~in_port:0 ()) (rng ())
+  in
+  Alcotest.(check bool) "follows computed" true (d = Kar.Policy.Forward 2);
+  Alcotest.(check bool) "not deflected" false defl
+
+let test_all_drop_when_everything_down () =
+  List.iter
+    (fun policy ->
+      let d, _ =
+        Kar.Policy.forward policy ~switch_id:13
+          ~ports:(ports ~down:[ 0; 1; 2; 3 ] 4)
+          ~packet:(view ~route_id:2 ~in_port:0 ()) (rng ())
+      in
+      Alcotest.(check bool) (Kar.Policy.to_string policy) true (d = Kar.Policy.Drop))
+    [ Kar.Policy.No_deflection; Kar.Policy.Hot_potato; Kar.Policy.Any_valid_port;
+      Kar.Policy.Not_input_port ]
+
+let test_policy_string_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (Kar.Policy.to_string p) true
+        (Kar.Policy.of_string (Kar.Policy.to_string p) = Some p))
+    Kar.Policy.all;
+  Alcotest.(check bool) "unknown" true (Kar.Policy.of_string "bogus" = None)
+
+(* deflection draws are uniform over the candidate set *)
+let test_deflection_uniformity () =
+  let r = rng () in
+  let counts = Array.make 4 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    match
+      Kar.Policy.forward Kar.Policy.Not_input_port ~switch_id:13 ~ports:(ports 4)
+        ~packet:(view ~route_id:7 ~in_port:0 ()) r
+    with
+    | Kar.Policy.Forward p, _ -> counts.(p) <- counts.(p) + 1
+    | Kar.Policy.Drop, _ -> ()
+  done;
+  Alcotest.(check int) "input port never drawn" 0 counts.(0);
+  (* three candidates, ~n/3 each within 5% *)
+  List.iter
+    (fun p ->
+      let share = float_of_int counts.(p) /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "port %d share %.3f" p share)
+        true
+        (Float.abs (share -. (1.0 /. 3.0)) < 0.017))
+    [ 1; 2; 3 ]
+
+(* forwarding decisions are always safe: the chosen port exists, is up,
+   and NIP never returns the input port unless it is the only healthy one *)
+let prop_forward_invariants =
+  qtest ~count:2000 "forward returns only existing healthy ports"
+    QCheck2.Gen.(
+      let* degree = 1 -- 8 in
+      let* down_mask = 0 -- ((1 lsl degree) - 1) in
+      let* in_port = 0 -- (degree - 1) in
+      let* route = 0 -- 10_000 in
+      let* policy_idx = 0 -- 3 in
+      let* deflected = bool in
+      pure (degree, down_mask, in_port, route, policy_idx, deflected))
+    (fun (degree, down_mask, in_port, route, policy_idx, deflected) ->
+      let ports_arr =
+        Array.init degree (fun p ->
+            { Kar.Policy.up = down_mask land (1 lsl p) = 0; to_host = false })
+      in
+      let policy = List.nth Kar.Policy.all policy_idx in
+      let decision, _ =
+        Kar.Policy.forward policy ~switch_id:10007
+          ~ports:ports_arr
+          ~packet:{ Kar.Policy.route_id = Z.of_int route; in_port; deflected }
+          (Util.Prng.of_int (route + down_mask))
+      in
+      match decision with
+      | Kar.Policy.Drop -> true
+      | Kar.Policy.Forward p ->
+        p >= 0 && p < degree
+        && ports_arr.(p).Kar.Policy.up
+        && (policy <> Kar.Policy.Not_input_port
+           || p <> in_port
+           || (* only-healthy-port exception *)
+           Array.for_all
+             (fun i ->
+               (not ports_arr.(i).Kar.Policy.up) || i = in_port)
+             (Array.init degree (fun i -> i))))
+
+(* --- Route encoding --- *)
+
+let test_route_fig1 () =
+  let sc = Nets.fig1_six in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Unprotected in
+  Alcotest.(check string) "R=44" "44" (Z.to_string plan.Kar.Route.route_id);
+  let protected_plan = Kar.Controller.scenario_plan sc Kar.Controller.Partial in
+  Alcotest.(check string) "R=660" "660" (Z.to_string protected_plan.Kar.Route.route_id);
+  Alcotest.(check (list (triple int int int))) "verify clean" []
+    (Kar.Route.verify protected_plan)
+
+let test_route_table1_bits () =
+  let sc = Nets.net15 in
+  List.iter2
+    (fun level (bits, switches) ->
+      let plan = Kar.Controller.scenario_plan sc level in
+      Alcotest.(check int) "bits" bits plan.Kar.Route.bit_length;
+      Alcotest.(check int) "switches" switches (List.length plan.Kar.Route.residues))
+    Kar.Controller.all_levels
+    [ (15, 4); (28, 7); (43, 10) ]
+
+let test_route_errors () =
+  let sc = Nets.net15 in
+  let g = sc.Nets.graph in
+  (* non-adjacent consecutive switches *)
+  (match Kar.Route.of_labels g [ 10; 29 ] ~egress_label:1003 with
+   | Error (Kar.Route.Not_adjacent (10, 29)) -> ()
+   | Error _ | Ok _ -> Alcotest.fail "expected Not_adjacent 10 29");
+  (* duplicate switch *)
+  (match
+     Kar.Route.of_labels g [ 10; 7; 13; 29 ] ~egress_label:1003
+     |> fun plan_result ->
+     Result.bind plan_result (fun plan -> Kar.Route.protect g plan [ (10, 11) ])
+   with
+   | Error (Kar.Route.Duplicate_switch 10) -> ()
+   | Error _ | Ok _ -> Alcotest.fail "expected Duplicate_switch 10");
+  (* non-core node in the path *)
+  match Kar.Route.of_labels g [ 1001; 10 ] ~egress_label:1003 with
+  | Error (Kar.Route.Not_core 1001) | Error (Kar.Route.Not_adjacent _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected failure for an edge node in path"
+
+let test_route_verify_catches_mismatch () =
+  let sc = Nets.net15 in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Partial in
+  (* rebuild the plan with a corrupted route id *)
+  let broken = { plan with Kar.Route.route_id = Z.add plan.Kar.Route.route_id Z.one } in
+  Alcotest.(check bool) "violations found" true (Kar.Route.verify broken <> [])
+
+let test_next_hop_matches_residues () =
+  let sc = Nets.rnp28 in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Partial in
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        (Printf.sprintf "SW%d" r.Rns.modulus)
+        r.Rns.value
+        (Kar.Route.next_hop plan ~switch_id:r.Rns.modulus))
+    plan.Kar.Route.residues
+
+(* --- Protection --- *)
+
+let test_tree_hops_reach_dest () =
+  let sc = Nets.rnp28 in
+  let g = sc.Nets.graph in
+  let dest = Graph.node_of_label g 73 in
+  let members = List.map (Graph.label g) (Graph.core_nodes g) in
+  let hops = Kar.Protection.tree_hops g ~dest members in
+  (* every core switch except the destination gets a hop *)
+  Alcotest.(check int) "27 hops" 27 (List.length hops);
+  (* following hops from any member terminates at the destination *)
+  let next = List.to_seq hops |> Hashtbl.of_seq in
+  List.iter
+    (fun (s, _) ->
+      let rec follow l steps =
+        if l = 73 then ()
+        else if steps > 30 then Alcotest.failf "hop chain from %d loops" s
+        else
+          match Hashtbl.find_opt next l with
+          | Some n -> follow n (steps + 1)
+          | None -> Alcotest.failf "chain from %d dead-ends at %d" s l
+      in
+      follow s 0)
+    hops
+
+let test_off_path_members_ordering () =
+  let sc = Nets.net15 in
+  let g = sc.Nets.graph in
+  let path = List.map (Graph.node_of_label g) sc.Nets.primary in
+  let members = Kar.Protection.off_path_members g ~path ~radius:1 in
+  (* radius 1 = the direct neighbours of the path, not the path itself *)
+  Alcotest.(check bool) "no path nodes" true
+    (List.for_all (fun m -> not (List.mem m sc.Nets.primary)) members);
+  List.iter
+    (fun m ->
+      let v = Graph.node_of_label g m in
+      Alcotest.(check bool)
+        (Printf.sprintf "SW%d adjacent to path" m)
+        true
+        (List.exists (fun p -> Graph.link_between g v p <> None) path))
+    members
+
+let test_budget_monotone () =
+  let sc = Nets.net15 in
+  let g = sc.Nets.graph in
+  let base = Kar.Controller.scenario_plan sc Kar.Controller.Unprotected in
+  let dest = Graph.node_of_label g 29 in
+  let path = List.map (Graph.node_of_label g) sc.Nets.primary in
+  let members = Kar.Protection.off_path_members g ~path ~radius:max_int in
+  let sizes =
+    List.map
+      (fun bits ->
+        let plan, hops =
+          Kar.Protection.select_within_budget g ~plan:base ~dest ~members ~bits
+        in
+        Alcotest.(check bool) "respects budget" true (plan.Kar.Route.bit_length <= bits);
+        List.length hops)
+      [ 15; 30; 60; 120 ]
+  in
+  Alcotest.(check bool) "monotone" true (List.sort Stdlib.compare sizes = sizes)
+
+let test_coverage_values () =
+  (* the three coverage numbers behind the paper's section 3.2 narrative *)
+  let sc = Nets.rnp28 in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Partial in
+  let cov name =
+    let fc = List.find (fun fc -> fc.Nets.name = name) sc.Nets.failures in
+    Kar.Protection.coverage sc.Nets.graph ~plan ~failed:fc.Nets.link
+  in
+  Alcotest.(check (float 0.001)) "SW7-SW13 fully covered" 1.0 (cov "SW7-SW13");
+  Alcotest.(check (float 0.001)) "SW13-SW41: 2 of 5" 0.4 (cov "SW13-SW41");
+  Alcotest.(check (float 0.001)) "SW41-SW73 fully covered" 1.0 (cov "SW41-SW73")
+
+(* --- Ids --- *)
+
+let test_primes () =
+  Alcotest.(check (list int)) "first 6" [ 2; 3; 5; 7; 11; 13 ] (Kar.Ids.primes 6);
+  Alcotest.(check bool) "97 prime" true (Kar.Ids.is_prime 97);
+  Alcotest.(check bool) "1 not prime" false (Kar.Ids.is_prime 1);
+  Alcotest.(check bool) "91 = 7*13" false (Kar.Ids.is_prime 91)
+
+let strategies =
+  [ Kar.Ids.Primes_ascending; Kar.Ids.Degree_descending; Kar.Ids.Prime_powers;
+    Kar.Ids.Random_primes 3 ]
+
+let prop_assign_valid =
+  qtest ~count:20 "assignment is valid on random graphs"
+    QCheck2.Gen.(pair (1 -- 500) (0 -- 3))
+    (fun (seed, si) ->
+      let g = Topo.Gen.gnp ~n:20 ~p:0.25 ~seed in
+      let strategy = List.nth strategies si in
+      Kar.Ids.validate (Kar.Ids.assign g strategy) = [])
+
+let test_assign_preserves_edges () =
+  let g, hosts = Topo.Gen.with_edge_hosts (Topo.Gen.ring 6) [ 0; 3 ] in
+  let g' = Kar.Ids.assign g Kar.Ids.Primes_ascending in
+  List.iter
+    (fun h ->
+      Alcotest.(check int) "edge label kept" (Graph.label g h) (Graph.label g' h))
+    hosts
+
+let test_mean_route_bits_sane () =
+  let g = Kar.Ids.assign (Topo.Gen.ring 8) Kar.Ids.Primes_ascending in
+  let bits = Kar.Ids.mean_route_bits g ~trials:100 ~seed:5 in
+  Alcotest.(check bool) "positive and bounded" true (bits > 1.0 && bits < 64.0)
+
+(* --- Controller --- *)
+
+let test_scenario_plans_verify () =
+  List.iter
+    (fun sc ->
+      List.iter
+        (fun level ->
+          let plan = Kar.Controller.scenario_plan sc level in
+          Alcotest.(check (list (triple int int int))) "forward verifies" []
+            (Kar.Route.verify plan);
+          let rev = Kar.Controller.scenario_reverse_plan sc level in
+          Alcotest.(check (list (triple int int int))) "reverse verifies" []
+            (Kar.Route.verify rev))
+        Kar.Controller.all_levels)
+    [ Nets.fig1_six; Nets.net15; Nets.rnp28; Nets.rnp_fig8 ]
+
+let test_reverse_plan_edge_disjoint () =
+  let sc = Nets.rnp28 in
+  let g = sc.Nets.graph in
+  let fwd_links =
+    Topo.Paths.path_links g (List.map (Graph.node_of_label g) sc.Nets.primary)
+  in
+  let rev = Kar.Controller.scenario_reverse_plan sc Kar.Controller.Partial in
+  let rev_links = Topo.Paths.path_links g rev.Kar.Route.core_path in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "disjoint" true (not (List.mem l fwd_links)))
+    rev_links
+
+let test_reencode_cache () =
+  let sc = Nets.net15 in
+  let cache = Kar.Controller.create_cache sc.Nets.graph in
+  let r1 = Kar.Controller.reencode cache ~at:sc.Nets.ingress ~dst:sc.Nets.egress in
+  let r2 = Kar.Controller.reencode cache ~at:sc.Nets.ingress ~dst:sc.Nets.egress in
+  Alcotest.(check bool) "some route" true (r1 <> None);
+  Alcotest.(check bool) "memoised identical" true (r1 = r2);
+  (* a route to itself is degenerate *)
+  Alcotest.(check bool) "self" true
+    (Kar.Controller.reencode cache ~at:sc.Nets.ingress ~dst:sc.Nets.ingress <> None
+     || true)
+
+let test_disjoint_plans () =
+  let sc = Nets.net15 in
+  let g = sc.Nets.graph in
+  let plans =
+    Kar.Controller.disjoint_plans g ~src:sc.Nets.ingress ~dst:sc.Nets.egress ~k:3
+  in
+  Alcotest.(check bool) "at least two" true (List.length plans >= 2);
+  (* pairwise edge-disjoint over core links *)
+  let link_sets =
+    List.map (fun p -> Topo.Paths.path_links g p.Kar.Route.core_path) plans
+  in
+  let rec pairwise = function
+    | [] -> ()
+    | s :: rest ->
+      List.iter
+        (fun t ->
+          List.iter
+            (fun l ->
+              Alcotest.(check bool) "disjoint core links" false (List.mem l t))
+            s)
+        rest;
+      pairwise rest
+  in
+  pairwise link_sets;
+  (* every plan verifies and delivers on the healthy network *)
+  List.iter
+    (fun plan ->
+      Alcotest.(check (list (triple int int int))) "verifies" [] (Kar.Route.verify plan);
+      let a =
+        Kar.Markov.analyze g ~plan ~policy:Kar.Policy.Not_input_port ~failed:[]
+          ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+      in
+      Alcotest.(check (float 1e-9)) "delivers" 1.0 a.Kar.Markov.p_delivered)
+    plans
+
+let test_disjoint_plans_survive_each_other () =
+  (* failing any link of plan 0 leaves plan 1 deliverable: the 1+1 basis *)
+  let sc = Nets.net15 in
+  let g = sc.Nets.graph in
+  match Kar.Controller.disjoint_plans g ~src:sc.Nets.ingress ~dst:sc.Nets.egress ~k:2 with
+  | p0 :: p1 :: _ ->
+    List.iter
+      (fun failed_link ->
+        let a =
+          Kar.Markov.analyze g ~plan:p1 ~policy:Kar.Policy.No_deflection
+            ~failed:[ failed_link ] ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+        in
+        Alcotest.(check (float 1e-9)) "backup unaffected" 1.0 a.Kar.Markov.p_delivered)
+      (Topo.Paths.path_links g p0.Kar.Route.core_path)
+  | _ -> Alcotest.fail "need two disjoint plans"
+
+let test_controller_route_follows_shortest () =
+  let sc = Nets.net15 in
+  let plan =
+    Kar.Controller.route sc.Nets.graph ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+      ~protection:[]
+  in
+  (* shortest AS1 -> AS3 is via the primary 10-7-13-29 (4 core hops) *)
+  Alcotest.(check int) "4 switches" 4 (List.length plan.Kar.Route.residues)
+
+(* --- Walk vs Markov agreement --- *)
+
+let walk_matches_markov sc level policy fidx =
+  let g = sc.Nets.graph in
+  let plan = Kar.Controller.scenario_plan sc level in
+  let failed =
+    match fidx with
+    | Some i -> [ (List.nth sc.Nets.failures i).Nets.link ]
+    | None -> []
+  in
+  let exact =
+    Kar.Markov.analyze g ~plan ~policy ~failed ~src:sc.Nets.ingress
+      ~dst:sc.Nets.egress
+  in
+  let mc =
+    Kar.Walk.run g ~plan ~policy ~failed ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+      ~trials:30_000 ~seed:13 ()
+  in
+  Alcotest.(check (float 0.015))
+    "delivery probability" exact.Kar.Markov.p_delivered mc.Kar.Walk.p_delivery;
+  if exact.Kar.Markov.p_delivered > 0.2 && Float.is_finite exact.Kar.Markov.expected_hops_delivered
+  then
+    Alcotest.(check bool) "hops within 10%" true
+      (Float.abs (exact.Kar.Markov.expected_hops_delivered -. mc.Kar.Walk.mean_hops)
+       /. exact.Kar.Markov.expected_hops_delivered
+       < 0.1)
+
+let test_walk_markov_nip () =
+  walk_matches_markov Nets.net15 Kar.Controller.Partial Kar.Policy.Not_input_port (Some 0);
+  walk_matches_markov Nets.net15 Kar.Controller.Full Kar.Policy.Not_input_port (Some 2);
+  walk_matches_markov Nets.rnp28 Kar.Controller.Partial Kar.Policy.Not_input_port (Some 1)
+
+let test_walk_markov_avp () =
+  walk_matches_markov Nets.net15 Kar.Controller.Partial Kar.Policy.Any_valid_port (Some 1)
+
+let test_markov_healthy_deterministic () =
+  (* without failures the chain is the deterministic path: P(del)=1, hops =
+     path length *)
+  List.iter
+    (fun (sc, expected_hops) ->
+      let plan = Kar.Controller.scenario_plan sc Kar.Controller.Partial in
+      let a =
+        Kar.Markov.analyze sc.Nets.graph ~plan ~policy:Kar.Policy.Not_input_port
+          ~failed:[] ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+      in
+      Alcotest.(check (float 1e-9)) "P(del)=1" 1.0 a.Kar.Markov.p_delivered;
+      Alcotest.(check (float 1e-6)) "hops" expected_hops
+        a.Kar.Markov.expected_hops_delivered)
+    [ (Nets.fig1_six, 3.0); (Nets.net15, 4.0); (Nets.rnp28, 4.0);
+      (Nets.rnp_fig8, 6.0) ]
+
+let test_markov_fig8_geometric () =
+  (* the fig8 loop: 1/2 escape per visit via SW109 (4 hops/loop) means
+     E[hops] = 6 + 4 * E[loops] = 6 + 4 = 10 *)
+  let sc = Nets.rnp_fig8 in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Partial in
+  let a =
+    Kar.Markov.analyze sc.Nets.graph ~plan ~policy:Kar.Policy.Not_input_port
+      ~failed:[ (List.hd sc.Nets.failures).Nets.link ]
+      ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+  in
+  Alcotest.(check (float 1e-6)) "P(del)=1" 1.0 a.Kar.Markov.p_delivered;
+  Alcotest.(check (float 0.01)) "E[hops]=10" 10.0 a.Kar.Markov.expected_hops_delivered
+
+let test_markov_no_deflection_drops () =
+  let sc = Nets.net15 in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Full in
+  let a =
+    Kar.Markov.analyze sc.Nets.graph ~plan ~policy:Kar.Policy.No_deflection
+      ~failed:[ (List.nth sc.Nets.failures 1).Nets.link ]
+      ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+  in
+  Alcotest.(check (float 1e-9)) "everything drops" 1.0 a.Kar.Markov.p_dropped
+
+let test_markov_disconnected_source () =
+  (* fail the ingress uplink: nothing can even enter the core *)
+  let sc = Nets.fig1_six in
+  let g = sc.Nets.graph in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Partial in
+  let uplink = (Graph.link_at g sc.Nets.ingress 0).Graph.id in
+  let a =
+    Kar.Markov.analyze g ~plan ~policy:Kar.Policy.Not_input_port
+      ~failed:[ uplink ] ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+  in
+  Alcotest.(check (float 1e-9)) "all dropped" 1.0 a.Kar.Markov.p_dropped;
+  (* the Monte-Carlo walker agrees *)
+  let mc =
+    Kar.Walk.run g ~plan ~policy:Kar.Policy.Not_input_port ~failed:[ uplink ]
+      ~src:sc.Nets.ingress ~dst:sc.Nets.egress ~trials:100 ~seed:1 ()
+  in
+  Alcotest.(check int) "walker drops everything" 100 mc.Kar.Walk.dropped
+
+let test_markov_rejects_core_source () =
+  let sc = Nets.fig1_six in
+  let g = sc.Nets.graph in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Partial in
+  match
+    Kar.Markov.analyze g ~plan ~policy:Kar.Policy.Not_input_port ~failed:[]
+      ~src:(Graph.node_of_label g 7) ~dst:sc.Nets.egress
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "core source accepted"
+
+let test_markov_solver () =
+  (* 2x2 system: x + y = 3, x - y = 1 *)
+  let x = Kar.Markov.solve [| [| 1.0; 1.0 |]; [| 1.0; -1.0 |] |] [| 3.0; 1.0 |] in
+  Alcotest.(check (float 1e-9)) "x" 2.0 x.(0);
+  Alcotest.(check (float 1e-9)) "y" 1.0 x.(1);
+  (* singular *)
+  match Kar.Markov.solve [| [| 1.0; 1.0 |]; [| 2.0; 2.0 |] |] [| 1.0; 2.0 |] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected singular failure"
+
+let test_optimizer_improves_or_equals () =
+  let sc = Nets.net15 in
+  let g = sc.Nets.graph in
+  let failures = List.map (fun fc -> fc.Nets.link) sc.Nets.failures in
+  let base = Kar.Controller.scenario_plan sc Kar.Controller.Unprotected in
+  let score plan =
+    Kar.Optimizer.score g ~plan ~policy:Kar.Policy.Not_input_port ~failures
+      ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+      ~objective:Kar.Optimizer.Worst_delivery
+  in
+  let before = score base in
+  let r =
+    Kar.Optimizer.optimize g ~plan:base ~policy:Kar.Policy.Not_input_port
+      ~failures ~src:sc.Nets.ingress ~dst:sc.Nets.egress ~candidates:[] ~bits:64
+      ~objective:Kar.Optimizer.Worst_delivery
+  in
+  Alcotest.(check bool) "never worse" true (r.Kar.Optimizer.score >= before);
+  Alcotest.(check bool) "budget respected" true
+    (r.Kar.Optimizer.plan.Kar.Route.bit_length <= 64);
+  (* every recorded step strictly improved the objective *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "monotone step" true
+        (s.Kar.Optimizer.score_after > s.Kar.Optimizer.score_before))
+    r.Kar.Optimizer.steps;
+  (* final score equals re-evaluating the final plan *)
+  Alcotest.(check (float 1e-9)) "score consistent" r.Kar.Optimizer.score
+    (score r.Kar.Optimizer.plan);
+  (* with a generous budget it should reach certain delivery on net15 *)
+  Alcotest.(check (float 1e-6)) "perfect worst-case delivery" 1.0
+    r.Kar.Optimizer.score
+
+let test_optimizer_tiny_budget_noop () =
+  (* a budget below the unprotected size leaves the plan untouched *)
+  let sc = Nets.net15 in
+  let g = sc.Nets.graph in
+  let base = Kar.Controller.scenario_plan sc Kar.Controller.Unprotected in
+  let r =
+    Kar.Optimizer.optimize g ~plan:base ~policy:Kar.Policy.Not_input_port
+      ~failures:[ (List.hd sc.Nets.failures).Nets.link ] ~src:sc.Nets.ingress
+      ~dst:sc.Nets.egress ~candidates:[] ~bits:base.Kar.Route.bit_length
+      ~objective:Kar.Optimizer.Mean_delivery
+  in
+  Alcotest.(check int) "no steps" 0 (List.length r.Kar.Optimizer.steps);
+  Alcotest.(check bool) "same plan" true
+    (Bignum.Z.equal r.Kar.Optimizer.plan.Kar.Route.route_id base.Kar.Route.route_id)
+
+let test_optimizer_hop_objective () =
+  (* optimizing expected hops must not reduce delivery below the
+     delivery-optimal plan's value on this topology (both reach 1.0) *)
+  let sc = Nets.net15 in
+  let g = sc.Nets.graph in
+  let failures = List.map (fun fc -> fc.Nets.link) sc.Nets.failures in
+  let base = Kar.Controller.scenario_plan sc Kar.Controller.Unprotected in
+  let r =
+    Kar.Optimizer.optimize g ~plan:base ~policy:Kar.Policy.Not_input_port
+      ~failures ~src:sc.Nets.ingress ~dst:sc.Nets.egress ~candidates:[] ~bits:96
+      ~objective:Kar.Optimizer.Expected_hops
+  in
+  let delivery =
+    Kar.Optimizer.score g ~plan:r.Kar.Optimizer.plan
+      ~policy:Kar.Policy.Not_input_port ~failures ~src:sc.Nets.ingress
+      ~dst:sc.Nets.egress ~objective:Kar.Optimizer.Worst_delivery
+  in
+  Alcotest.(check (float 1e-6)) "hops objective also secures delivery" 1.0 delivery
+
+let test_walk_ttl () =
+  (* with protection absent and HP, walks can die of TTL *)
+  let sc = Nets.net15 in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Unprotected in
+  let r =
+    Kar.Walk.run sc.Nets.graph ~plan ~policy:Kar.Policy.Hot_potato
+      ~failed:[ (List.nth sc.Nets.failures 1).Nets.link ]
+      ~src:sc.Nets.ingress ~dst:sc.Nets.egress ~trials:2000 ~seed:3 ~ttl:16 ()
+  in
+  Alcotest.(check int) "conservation" r.Kar.Walk.trials
+    (r.Kar.Walk.delivered + r.Kar.Walk.stranded + r.Kar.Walk.dropped
+   + r.Kar.Walk.ttl_exceeded);
+  Alcotest.(check bool) "some walks die of ttl" true (r.Kar.Walk.ttl_exceeded > 0)
+
+let () =
+  Alcotest.run "kar"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "computed port (paper values)" `Quick test_computed_port;
+          Alcotest.test_case "none forwards valid" `Quick test_none_forwards_valid;
+          Alcotest.test_case "none drops invalid" `Quick test_none_drops_invalid_port;
+          Alcotest.test_case "none drops down" `Quick test_none_drops_down_port;
+          Alcotest.test_case "avp may bounce back" `Quick test_avp_uses_computed_even_if_input;
+          Alcotest.test_case "nip never uses input" `Quick test_nip_never_uses_input;
+          Alcotest.test_case "nip random excludes input+down" `Quick
+            test_nip_random_excludes_input_and_down;
+          Alcotest.test_case "nip degree-one dead end" `Quick test_nip_degree_one_returns;
+          Alcotest.test_case "hp random after deflection" `Quick
+            test_hp_random_after_first_deflection;
+          Alcotest.test_case "hp follows modulo until deflected" `Quick
+            test_hp_not_deflected_follows_modulo;
+          Alcotest.test_case "all drop when isolated" `Quick test_all_drop_when_everything_down;
+          Alcotest.test_case "policy names roundtrip" `Quick test_policy_string_roundtrip;
+          Alcotest.test_case "deflection uniformity" `Quick test_deflection_uniformity;
+          prop_forward_invariants;
+        ] );
+      ( "route",
+        [
+          Alcotest.test_case "fig1 route IDs" `Quick test_route_fig1;
+          Alcotest.test_case "table 1 bit lengths" `Quick test_route_table1_bits;
+          Alcotest.test_case "error paths" `Quick test_route_errors;
+          Alcotest.test_case "verify catches corruption" `Quick test_route_verify_catches_mismatch;
+          Alcotest.test_case "next_hop matches residues" `Quick test_next_hop_matches_residues;
+        ] );
+      ( "protection",
+        [
+          Alcotest.test_case "tree hops reach destination" `Quick test_tree_hops_reach_dest;
+          Alcotest.test_case "off-path member selection" `Quick test_off_path_members_ordering;
+          Alcotest.test_case "budget selection is monotone" `Quick test_budget_monotone;
+          Alcotest.test_case "coverage (paper narrative values)" `Quick test_coverage_values;
+        ] );
+      ( "ids",
+        [
+          Alcotest.test_case "primes" `Quick test_primes;
+          prop_assign_valid;
+          Alcotest.test_case "edges preserved" `Quick test_assign_preserves_edges;
+          Alcotest.test_case "mean route bits sane" `Quick test_mean_route_bits_sane;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "all scenario plans verify" `Quick test_scenario_plans_verify;
+          Alcotest.test_case "reverse plan edge-disjoint" `Quick test_reverse_plan_edge_disjoint;
+          Alcotest.test_case "re-encode cache" `Quick test_reencode_cache;
+          Alcotest.test_case "route follows shortest path" `Quick
+            test_controller_route_follows_shortest;
+          Alcotest.test_case "disjoint plans" `Quick test_disjoint_plans;
+          Alcotest.test_case "disjoint plans survive each other" `Quick
+            test_disjoint_plans_survive_each_other;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "walk = markov (nip)" `Slow test_walk_markov_nip;
+          Alcotest.test_case "walk = markov (avp)" `Slow test_walk_markov_avp;
+          Alcotest.test_case "healthy = deterministic path" `Quick
+            test_markov_healthy_deterministic;
+          Alcotest.test_case "fig8 geometric loop" `Quick test_markov_fig8_geometric;
+          Alcotest.test_case "no-deflection drops all" `Quick test_markov_no_deflection_drops;
+          Alcotest.test_case "linear solver" `Quick test_markov_solver;
+          Alcotest.test_case "disconnected source" `Quick test_markov_disconnected_source;
+          Alcotest.test_case "core source rejected" `Quick test_markov_rejects_core_source;
+          Alcotest.test_case "walk ttl + conservation" `Quick test_walk_ttl;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "improves monotonically" `Slow test_optimizer_improves_or_equals;
+          Alcotest.test_case "tiny budget is a no-op" `Quick test_optimizer_tiny_budget_noop;
+          Alcotest.test_case "hop objective keeps delivery" `Slow test_optimizer_hop_objective;
+        ] );
+    ]
