@@ -68,6 +68,23 @@ let tests =
           fun () ->
             Kar.Policy.forward Kar.Policy.Not_input_port ~switch_id:13
               ~ports:sw13_ports ~packet rng));
+    (* flight recorder: per-event cost while tracing is on (the off case
+       records nothing at all) *)
+    Test.make ~name:"trace/record"
+      (Staged.stage
+         (let r = Trace.Recorder.create ~capacity:4096 () in
+          fun () ->
+            Trace.Recorder.record r ~vtime:1.0 ~uid:1 ~switch:13 ~in_port:0
+              ~out_port:2 ~ttl:63 Trace.Event.Forward));
+    Test.make ~name:"trace/jsonl-roundtrip"
+      (Staged.stage
+         (let e =
+            Trace.Recorder.record
+              (Trace.Recorder.create ~capacity:1 ())
+              ~vtime:0.00014096 ~uid:1 ~switch:13 ~in_port:0 ~out_port:2
+              ~ttl:63 (Trace.Event.Deflect "nip")
+          in
+          fun () -> Trace.Event.of_jsonl (Trace.Event.to_jsonl e)));
     (* exact analysis and Monte Carlo *)
     Test.make ~name:"kar/markov-net15"
       (Staged.stage (fun () ->

@@ -41,6 +41,8 @@ let experiments : (string * string * (Experiments.Profile.t -> string)) list =
      fun _ -> Experiments.Scaling.multipath_to_string ());
     ("multifail", "Beyond the paper: simultaneous multiple failures",
      fun _ -> Experiments.Multifailure.to_string ());
+    ("invariants", "Trace-checked invariants over every single core-link failure",
+     fun _ -> Experiments.Invariants.to_string ());
   ]
 
 let run_one profile name =

@@ -26,7 +26,7 @@ let link_conv =
   Arg.conv (parse, fun ppf (a, b) -> Format.fprintf ppf "%d:%d" a b)
 
 let run topo src_label dst_label policy fail fail_at fail_for duration
-    protect_bits seed =
+    protect_bits seed trace_file check_invariants =
   match Topo.Serial.load topo with
   | Error e -> `Error (false, Format.asprintf "%s: %a" topo Topo.Serial.pp_error e)
   | Ok g ->
@@ -51,6 +51,25 @@ let run topo src_label dst_label policy fail fail_at fail_for duration
        (* simulate *)
        let engine = Netsim.Engine.create () in
        let net = Netsim.Net.create ~graph:g ~engine () in
+       (* Flight recorder: on for --trace and/or --check-invariants.  The
+          protected set is the moduli of both plans in the air (data and
+          ACK direction) — the switches whose modulo forward of a deflected
+          packet counts as a driven deflection. *)
+       let trace_oc = Option.map open_out trace_file in
+       let recorder =
+         if trace_oc = None && not check_invariants then None
+         else
+           Some
+             (Trace.Recorder.create
+                ?sink:(Option.map Trace.Recorder.jsonl_sink trace_oc)
+                ~capacity:(1 lsl 20)
+                ~protected_switches:
+                  (List.map
+                     (fun r -> r.Rns.modulus)
+                     (plan.Kar.Route.residues @ rev.Kar.Route.residues))
+                ())
+       in
+       Netsim.Net.set_recorder net recorder;
        Netsim.Karnet.install_switches net ~policy ~seed;
        let stack = Tcp.Stack.create ~net () in
        let sampler = Tcp.Sampler.create ~bin_s:(duration /. 24.0) () in
@@ -89,7 +108,39 @@ let run topo src_label dst_label policy fail fail_at fail_for duration
          ns.Netsim.Net.deflections ns.Netsim.Net.reencodes
          (ns.Netsim.Net.dropped_link_down + ns.Netsim.Net.dropped_queue_full
         + ns.Netsim.Net.dropped_no_route + ns.Netsim.Net.dropped_ttl);
-       `Ok ()
+       Option.iter close_out trace_oc;
+       (match (recorder, trace_file) with
+        | Some r, Some file ->
+          Printf.printf "trace: %d events written to %s\n"
+            (Trace.Recorder.recorded r) file
+        | _ -> ());
+       (match recorder with
+        | Some r when check_invariants ->
+          (* TCP segments still in flight at the cut-off are legitimate, so
+             no drain check; delivery is TCP's business, not the trace's. *)
+          let violations =
+            Trace.Invariant.check
+              ~truncated:(Trace.Recorder.overwritten r > 0)
+              (Trace.Recorder.contents r)
+          in
+          if Trace.Recorder.overwritten r > 0 then
+            Printf.printf
+              "invariants: checked last %d events only (%d overwritten)\n"
+              (List.length (Trace.Recorder.contents r))
+              (Trace.Recorder.overwritten r);
+          (match violations with
+           | [] ->
+             Printf.printf "invariants: ok (%d events)\n"
+               (Trace.Recorder.recorded r);
+             `Ok ()
+           | vs ->
+             List.iter
+               (fun v ->
+                 Printf.eprintf "invariant violation: %s\n"
+                   (Format.asprintf "%a" Trace.Invariant.pp_violation v))
+               vs;
+             `Error (false, Printf.sprintf "%d invariant violations" (List.length vs)))
+        | _ -> `Ok ())
      | Some _, Some _ -> `Error (false, "src and dst must be edge nodes")
      | _ -> `Error (false, "unknown src or dst label"))
 
@@ -130,11 +181,22 @@ let cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Deflection PRNG seed.")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the packet flight record as JSONL to $(docv).")
+  in
+  let check_invariants =
+    Arg.(value & flag & info [ "check-invariants" ]
+           ~doc:"Replay the flight record after the run and verify the \
+                 simulation invariants (loop-freedom of driven deflections, \
+                 conservation, TTL monotonicity, per-queue FIFO); exits \
+                 non-zero on any violation.")
+  in
   Cmd.v
     (Cmd.info "kar_sim" ~doc:"Simulate TCP over a KAR network with a link failure")
     Term.(
       ret
         (const run $ topo $ src $ dst $ policy $ fail $ fail_at $ fail_for
-        $ duration $ protect_bits $ seed))
+        $ duration $ protect_bits $ seed $ trace $ check_invariants))
 
 let () = exit (Cmd.eval cmd)

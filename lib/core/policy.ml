@@ -50,6 +50,21 @@ let pick rng = function
   | [ p ] -> Forward p
   | candidates -> Forward (List.nth candidates (Util.Prng.int rng (List.length candidates)))
 
+(* Could [forward] have returned [port] via the modulo computation rather
+   than a random draw?  Decidable after the fact because every random draw
+   is constrained: HP random-walks deflected packets regardless of the
+   computed port, and NIP never re-emits the computed port when it equals
+   the input port.  Used by the flight recorder to classify decisions
+   without touching the hot path. *)
+let via_computed policy ~switch_id ~(packet : packet_view) ~port =
+  let c = computed_port ~switch_id ~route_id:packet.route_id in
+  port = c
+  && (match policy with
+      | No_deflection -> true
+      | Hot_potato -> not packet.deflected
+      | Any_valid_port -> true
+      | Not_input_port -> c <> packet.in_port)
+
 let forward policy ~switch_id ~ports ~packet rng =
   let n_ports = Array.length ports in
   let c = computed_port ~switch_id ~route_id:packet.route_id in

@@ -64,3 +64,12 @@ val forward :
 (** [computed_port ~switch_id ~route_id] is the raw modulo result
     [<R>_s] (which may not name an existing port). *)
 val computed_port : switch_id:int -> route_id:Bignum.Z.t -> int
+
+(** [via_computed policy ~switch_id ~packet ~port] — given that [forward]
+    chose [port] for [packet], was that the modulo computation rather than
+    a random deflection draw?  Sound because every policy's random draw is
+    constrained away from the computed port in the relevant state (HP
+    random-walks deflected packets; NIP excludes the input port).  Used by
+    the flight recorder to classify decisions offline. *)
+val via_computed :
+  t -> switch_id:int -> packet:packet_view -> port:int -> bool

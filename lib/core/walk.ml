@@ -26,7 +26,33 @@ let port_states g ~failed v =
         to_host = not (Graph.is_core g far);
       })
 
-let walk g ~plan ~policy ~failed ~src ~dst ~ttl rng =
+(* Per-core-switch PRNG streams split from one master seed, in the exact
+   order {!Netsim.Karnet.install_switches} splits them — the contract that
+   makes a walk and a zero-delay netsim run take identical random draws. *)
+let switch_rngs g ~seed =
+  let master = Util.Prng.of_int seed in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v -> Hashtbl.add tbl v (Util.Prng.split master))
+    (Graph.core_nodes g);
+  fun v ->
+    match Hashtbl.find_opt tbl v with
+    | Some rng -> rng
+    | None -> invalid_arg "Walk.switch_rngs: not a core node"
+
+let walk g ~plan ~policy ~failed ~src ~dst ~ttl ?recorder ?(uid = 0) ?rng_for
+    rng =
+  let rng_for = match rng_for with Some f -> f | None -> fun _ -> rng in
+  let record ~vtime ~switch ~in_port ~out_port ~ttl:remaining action =
+    match recorder with
+    | None -> ()
+    | Some r ->
+      ignore
+        (Trace.Recorder.record r ~vtime ~uid ~switch ~in_port ~out_port
+           ~ttl:remaining action)
+  in
+  record ~vtime:0.0 ~switch:(Graph.label g src) ~in_port:(-1) ~out_port:(-1)
+    ~ttl Trace.Event.Inject;
   (* Enter the core through the source edge's first healthy port. *)
   let first_hop () =
     let rec find p =
@@ -40,25 +66,57 @@ let walk g ~plan ~policy ~failed ~src ~dst ~ttl rng =
     find 0
   in
   match first_hop () with
-  | None -> Dropped 0
+  | None ->
+    record ~vtime:0.0 ~switch:(-1) ~in_port:(-1) ~out_port:(-1) ~ttl
+      (Trace.Event.Drop "link_down");
+    Dropped 0
   | Some entry ->
     let rec step (node : Graph.node) in_port hops deflected =
-      if node = dst then Delivered hops
-      else if not (Graph.is_core g node) then Stranded (node, hops)
-      else if hops >= ttl then Ttl_exceeded
+      let label = Graph.label g node in
+      if node = dst then begin
+        record ~vtime:(float_of_int hops) ~switch:label ~in_port ~out_port:(-1)
+          ~ttl:(ttl - hops) Trace.Event.Deliver;
+        Delivered hops
+      end
+      else if not (Graph.is_core g node) then begin
+        record ~vtime:(float_of_int hops) ~switch:label ~in_port ~out_port:(-1)
+          ~ttl:(ttl - hops) (Trace.Event.Drop "stranded");
+        Stranded (node, hops)
+      end
+      else if hops >= ttl then begin
+        record ~vtime:(float_of_int hops) ~switch:label ~in_port ~out_port:(-1)
+          ~ttl:(ttl - hops - 1) (Trace.Event.Drop "ttl");
+        Ttl_exceeded
+      end
       else begin
         let view =
           { Policy.route_id = plan.Route.route_id; in_port; deflected }
         in
         let decision, deflected' =
-          Policy.forward policy
-            ~switch_id:(Graph.label g node)
+          Policy.forward policy ~switch_id:label
             ~ports:(port_states g ~failed node)
-            ~packet:view rng
+            ~packet:view (rng_for node)
         in
         match decision with
-        | Policy.Drop -> Dropped hops
+        | Policy.Drop ->
+          record ~vtime:(float_of_int hops) ~switch:label ~in_port
+            ~out_port:(-1) ~ttl:(ttl - hops - 1) (Trace.Event.Drop "no_route");
+          Dropped hops
         | Policy.Forward port ->
+          (match recorder with
+           | None -> ()
+           | Some r ->
+             let action =
+               Trace.Event.decision_action
+                 ~via_computed:
+                   (Policy.via_computed policy ~switch_id:label ~packet:view
+                      ~port)
+                 ~deflected:view.Policy.deflected
+                 ~protected_:(Trace.Recorder.is_protected r label)
+                 ~policy:(Policy.to_string policy)
+             in
+             record ~vtime:(float_of_int hops) ~switch:label ~in_port
+               ~out_port:port ~ttl:(ttl - hops - 1) action);
           let far = Graph.other_end (Graph.link_at g node port) node in
           step far.Graph.node far.Graph.port (hops + 1) deflected'
       end

@@ -26,9 +26,21 @@ type result = {
   p_delivery : float;
 }
 
+(** [switch_rngs g ~seed] is an independent PRNG stream per core switch,
+    split from [seed] in the same order as
+    [Netsim.Karnet.install_switches] — pass it as [?rng_for] to make a walk
+    consume the exact random draws a netsim run with the same seed would. *)
+val switch_rngs : Graph.t -> seed:int -> Graph.node -> Util.Prng.t
+
 (** [walk g ~plan ~policy ~failed ~src ~dst ~ttl rng] runs one packet from
     edge [src] toward edge [dst] with the plan's route ID, treating links
-    in [failed] as down. *)
+    in [failed] as down.
+
+    [?recorder] attaches a flight recorder: the walk emits the same
+    {!Trace.Event.t} stream as the packet-level simulator (with hop index
+    as virtual time and [uid], default 0, as the packet id), which is what
+    the differential Walk↔Netsim tests diff.  [?rng_for] overrides the
+    single [rng] with a per-switch stream lookup (see {!switch_rngs}). *)
 val walk :
   Graph.t ->
   plan:Route.plan ->
@@ -37,6 +49,9 @@ val walk :
   src:Graph.node ->
   dst:Graph.node ->
   ttl:int ->
+  ?recorder:Trace.Recorder.t ->
+  ?uid:int ->
+  ?rng_for:(Graph.node -> Util.Prng.t) ->
   Util.Prng.t ->
   outcome
 

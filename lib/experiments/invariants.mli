@@ -1,0 +1,42 @@
+(** Invariant sweep: run the packet simulator with the flight recorder on
+    and check every trace with {!Trace.Invariant.check}.
+
+    The sweep covers {b every single core-link failure} on the two
+    evaluation topologies ({!Topo.Nets.net15}, {!Topo.Nets.rnp28}) crossed
+    with all four deflection policies and all three protection levels —
+    the machine-checked version of the paper's §III claims: driven
+    deflections are loop-free, and under full protection the evaluated
+    routes survive any single core-link failure (Fig. 5/7).
+
+    Delivery (invariant 5) is only {e expected} where the paper claims it:
+    full protection with a deterministic deflection technique (AVP, NIP).
+    Hot-potato random-walks deflected packets, and unprotected/partial
+    plans legitimately lose packets — those cases still must satisfy
+    invariants 1-4. *)
+
+type case = {
+  topology : string;
+  failure : string; (** failed link as ["SWa-SWb"] *)
+  level : Kar.Controller.level;
+  policy : Kar.Policy.t;
+  packets : int; (** injected *)
+  delivered : int;
+  events : int; (** trace events recorded *)
+  violations : Trace.Invariant.violation list;
+}
+
+(** Does the paper promise delivery for this cell? *)
+val expect_delivery : Kar.Controller.level -> Kar.Policy.t -> bool
+
+(** [run ()] executes the full sweep ([packets] per case, default 4;
+    deterministic in [seed], default 42). *)
+val run : ?packets:int -> ?seed:int -> unit -> case list
+
+(** [to_string ()] renders the sweep as a summary table plus any violation
+    details. *)
+val to_string : ?packets:int -> ?seed:int -> unit -> string
+
+(** Canonical single-case traces used as golden JSONL fixtures (fig1 with
+    the Fig. 1 failure, net15 with a Fig. 5 failure).  Fully deterministic:
+    same events, sequence numbers and timestamps on every run. *)
+val canonical_trace : [ `Fig1 | `Net15 ] -> Trace.Event.t list

@@ -12,7 +12,8 @@ let install_switches net ~policy ~seed =
       let switch_id = Graph.label (Net.graph net) v in
       let handler net _node (packet : Packet.t) ~in_port =
         packet.Packet.hops <- packet.Packet.hops + 1;
-        if packet.Packet.hops > Net.ttl net then Net.drop net packet Net.Ttl_exceeded
+        if packet.Packet.hops > Net.ttl net then
+          Net.drop ~at:v ~in_port net packet Net.Ttl_exceeded
         else begin
           let ports = Net.port_states net v in
           let view =
@@ -25,6 +26,33 @@ let install_switches net ~policy ~seed =
           let decision, deflected =
             Kar.Policy.forward policy ~switch_id ~ports ~packet:view rng
           in
+          (* Flight recorder: classify the decision (computed forward,
+             random deflection, or driven deflection) and tally it.  Only
+             entered with a recorder attached, so the default path pays
+             nothing beyond the [None] test. *)
+          (match Net.recorder net, decision with
+           | Some r, Kar.Policy.Forward port ->
+             let action =
+               Trace.Event.decision_action
+                 ~via_computed:
+                   (Kar.Policy.via_computed policy ~switch_id ~packet:view
+                      ~port)
+                 ~deflected:view.Kar.Policy.deflected
+                 ~protected_:(Trace.Recorder.is_protected r switch_id)
+                 ~policy:(Kar.Policy.to_string policy)
+             in
+             (match action with
+              | Trace.Event.Deflect _ -> Net.note_deflect net v
+              | Trace.Event.Drive -> Net.note_drive net v
+              | _ -> ());
+             ignore
+               (Trace.Recorder.record r
+                  ~vtime:(Engine.now (Net.engine net))
+                  ~uid:packet.Packet.uid ~switch:switch_id ~in_port
+                  ~out_port:port
+                  ~ttl:(Net.ttl net - packet.Packet.hops)
+                  action)
+           | _ -> ());
           if deflected && not packet.Packet.deflected then begin
             Net.count_deflection net;
             Log.debug (fun m ->
@@ -34,7 +62,7 @@ let install_switches net ~policy ~seed =
           end;
           match decision with
           | Kar.Policy.Forward port -> Net.send net ~from_node:v ~port packet
-          | Kar.Policy.Drop -> Net.drop net packet Net.No_route
+          | Kar.Policy.Drop -> Net.drop ~at:v ~in_port net packet Net.No_route
         end
       in
       Net.set_node_handler net v handler)
@@ -45,7 +73,7 @@ type receive = Net.t -> Packet.t -> unit
 let install_edge net node ?(reencode_delay_s = 1e-3) ~reencode ~receive () =
   let handler net _node (packet : Packet.t) ~in_port =
     if packet.Packet.dst = node then begin
-      Net.delivered net packet;
+      Net.delivered ~in_port net packet;
       receive net packet
     end
     else if in_port < 0 then begin
@@ -57,7 +85,7 @@ let install_edge net node ?(reencode_delay_s = 1e-3) ~reencode ~receive () =
       (* Stranded packet: ask the controller for a fresh route ID from this
          edge, then re-inject after the control-plane round trip. *)
       match reencode packet with
-      | None -> Net.drop net packet Net.No_route
+      | None -> Net.drop ~at:node ~in_port net packet Net.No_route
       | Some route_id ->
         Net.count_reencode net;
         packet.Packet.route_id <- route_id;
@@ -65,6 +93,19 @@ let install_edge net node ?(reencode_delay_s = 1e-3) ~reencode ~receive () =
         packet.Packet.reencoded <- packet.Packet.reencoded + 1;
         ignore
           (Engine.schedule_in (Net.engine net) reencode_delay_s (fun () ->
+               (* Recorded at actual send time, so the event's place in the
+                  trace matches its place in the FIFO order. *)
+               (match Net.recorder net with
+                | None -> ()
+                | Some r ->
+                  ignore
+                    (Trace.Recorder.record r
+                       ~vtime:(Engine.now (Net.engine net))
+                       ~uid:packet.Packet.uid
+                       ~switch:(Graph.label (Net.graph net) node)
+                       ~in_port:(-1) ~out_port:0
+                       ~ttl:(Net.ttl net - packet.Packet.hops)
+                       Trace.Event.Reencode));
                Net.send net ~from_node:node ~port:0 packet))
     end
   in

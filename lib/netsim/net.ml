@@ -49,6 +49,13 @@ type t = {
   port_cache : Kar.Policy.port_state array array;
   stats : stats;
   mutable next_uid : int;
+  (* Observability: [None] recorder (the default) keeps the hot path
+     event-free; per-switch deflect/drive tallies are only maintained while
+     a recorder is attached (classification costs an extra modulo). *)
+  mutable recorder : Trace.Recorder.t option;
+  switch_deflections : int array; (* per node *)
+  switch_drives : int array; (* per node *)
+  link_queue_drops : int array; (* per link, always maintained *)
 }
 
 and handler = t -> Graph.node -> Packet.t -> in_port:int -> unit
@@ -115,6 +122,10 @@ let create ~graph ~engine ?(queue_capacity_bytes = 1_048_576) ?(ttl = 128)
     port_cache;
     stats = make_stats ();
     next_uid = 0;
+    recorder = None;
+    switch_deflections = Array.make (Graph.n_nodes graph) 0;
+    switch_drives = Array.make (Graph.n_nodes graph) 0;
+    link_queue_drops = Array.make n_links 0;
   }
 
 let graph net = net.graph
@@ -122,7 +133,30 @@ let engine net = net.engine
 let stats net = net.stats
 let ttl net = net.ttl
 
-let drop net (packet : Packet.t) reason =
+let set_recorder net r = net.recorder <- r
+let recorder net = net.recorder
+let note_deflect net v = net.switch_deflections.(v) <- net.switch_deflections.(v) + 1
+let note_drive net v = net.switch_drives.(v) <- net.switch_drives.(v) + 1
+let deflections_at net v = net.switch_deflections.(v)
+let drives_at net v = net.switch_drives.(v)
+let queue_drops_on net id = net.link_queue_drops.(id)
+
+let reason_slug = function
+  | Link_down -> "link_down"
+  | Queue_full -> "queue_full"
+  | No_route -> "no_route"
+  | Ttl_exceeded -> "ttl"
+
+let record_event net ~switch ~in_port ~out_port (packet : Packet.t) action =
+  match net.recorder with
+  | None -> ()
+  | Some r ->
+    ignore
+      (Trace.Recorder.record r ~vtime:(Engine.now net.engine)
+         ~uid:packet.Packet.uid ~switch ~in_port ~out_port
+         ~ttl:(net.ttl - packet.Packet.hops) action)
+
+let drop ?at ?(in_port = -1) net (packet : Packet.t) reason =
   Log.debug (fun m ->
       m "t=%.6f drop %a (%s)" (Engine.now net.engine) Packet.pp packet
         (match reason with
@@ -130,6 +164,10 @@ let drop net (packet : Packet.t) reason =
          | Queue_full -> "queue full"
          | No_route -> "no route"
          | Ttl_exceeded -> "ttl"));
+  (if net.recorder <> None then
+     let switch = match at with Some v -> Graph.label net.graph v | None -> -1 in
+     record_event net ~switch ~in_port ~out_port:(-1) packet
+       (Trace.Event.Drop (reason_slug reason)));
   let s = net.stats in
   match reason with
   | Link_down -> s.dropped_link_down <- s.dropped_link_down + 1
@@ -137,7 +175,12 @@ let drop net (packet : Packet.t) reason =
   | No_route -> s.dropped_no_route <- s.dropped_no_route + 1
   | Ttl_exceeded -> s.dropped_ttl <- s.dropped_ttl + 1
 
-let delivered net (_ : Packet.t) = net.stats.delivered <- net.stats.delivered + 1
+let delivered ?(in_port = -1) net (packet : Packet.t) =
+  record_event net
+    ~switch:(Graph.label net.graph packet.Packet.dst)
+    ~in_port ~out_port:(-1) packet Trace.Event.Deliver;
+  net.stats.delivered <- net.stats.delivered + 1
+
 let count_deflection net = net.stats.deflections <- net.stats.deflections + 1
 let count_reencode net = net.stats.reencodes <- net.stats.reencodes + 1
 
@@ -154,8 +197,8 @@ let deliver net node packet ~in_port =
   match net.handlers.(node) with
   | Some h -> h net node packet ~in_port
   | None ->
-    if packet.Packet.dst = node then delivered net packet
-    else drop net packet No_route
+    if packet.Packet.dst = node then delivered ~in_port net packet
+    else drop ~at:node ~in_port net packet No_route
 
 (* Start transmitting the head-of-line packet if the channel is idle. *)
 let rec pump net ch =
@@ -183,9 +226,12 @@ let rec pump net ch =
 
 let send net ~from_node ~port packet =
   let ch = net.out_channel.(from_node).(port) in
-  if not net.up.(ch.link_id) then drop net packet Link_down
+  if not net.up.(ch.link_id) then drop ~at:from_node net packet Link_down
   else if ch.queued_bytes + packet.Packet.size_bytes > net.queue_capacity_bytes
-  then drop net packet Queue_full
+  then begin
+    net.link_queue_drops.(ch.link_id) <- net.link_queue_drops.(ch.link_id) + 1;
+    drop ~at:from_node net packet Queue_full
+  end
   else begin
     Queue.push packet ch.queue;
     ch.queued_bytes <- ch.queued_bytes + packet.Packet.size_bytes;
@@ -194,6 +240,8 @@ let send net ~from_node ~port packet =
 
 let inject net ~at packet =
   net.stats.injected <- net.stats.injected + 1;
+  record_event net ~switch:(Graph.label net.graph at) ~in_port:(-1)
+    ~out_port:(-1) packet Trace.Event.Inject;
   deliver net at packet ~in_port:(-1)
 
 let set_cached_up net id value =

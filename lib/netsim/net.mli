@@ -76,12 +76,15 @@ val send : t -> from_node:Topo.Graph.node -> port:int -> Packet.t -> unit
     (in-node injection from a host stack; [in_port = -1]). *)
 val inject : t -> at:Topo.Graph.node -> Packet.t -> unit
 
-(** [drop net packet reason] records a loss (exposed for node handlers). *)
-val drop : t -> Packet.t -> drop_reason -> unit
+(** [drop net packet reason] records a loss (exposed for node handlers).
+    [?at]/[?in_port] locate the loss for the flight recorder (omitted =
+    on-wire / unknown). *)
+val drop :
+  ?at:Topo.Graph.node -> ?in_port:int -> t -> Packet.t -> drop_reason -> unit
 
 (** [delivered net packet] records a completed delivery (for host
-    handlers). *)
-val delivered : t -> Packet.t -> unit
+    handlers).  [?in_port] is the arrival port, for the flight recorder. *)
+val delivered : ?in_port:int -> t -> Packet.t -> unit
 
 (** [count_deflection net] bumps the deflection counter (used by Karnet). *)
 val count_deflection : t -> unit
@@ -107,3 +110,30 @@ val fresh_uid : t -> int
 (** [port_states net node] is the current {!Kar.Policy.port_state} array of
     [node] (liveness from the failure state, orientation from the graph). *)
 val port_states : t -> Topo.Graph.node -> Kar.Policy.port_state array
+
+(** {2 Flight recorder}
+
+    Attaching a {!Trace.Recorder.t} makes the network emit a
+    {!Trace.Event.t} per packet lifecycle step (inject, forwarding
+    decision, re-encode, deliver, drop) and maintain per-switch
+    deflection/drive tallies.  Detached (the default) the data plane does
+    no event work at all. *)
+
+val set_recorder : t -> Trace.Recorder.t option -> unit
+val recorder : t -> Trace.Recorder.t option
+
+(** [note_deflect net node] / [note_drive net node] bump the per-switch
+    observability tallies (called by {!Karnet} while a recorder is
+    attached). *)
+val note_deflect : t -> Topo.Graph.node -> unit
+
+val note_drive : t -> Topo.Graph.node -> unit
+
+(** Per-switch deflections/drives observed while a recorder was attached. *)
+val deflections_at : t -> Topo.Graph.node -> int
+
+val drives_at : t -> Topo.Graph.node -> int
+
+(** [queue_drops_on net link] — tail drops on [link] (either direction),
+    maintained unconditionally. *)
+val queue_drops_on : t -> Topo.Graph.link_id -> int

@@ -1,0 +1,141 @@
+type action =
+  | Inject
+  | Forward
+  | Deflect of string
+  | Drive
+  | Deliver
+  | Reencode
+  | Drop of string
+
+type t = {
+  seq : int;
+  vtime : float;
+  uid : int;
+  switch : int;
+  in_port : int;
+  out_port : int;
+  ttl : int;
+  action : action;
+}
+
+let decision_action ~via_computed ~deflected ~protected_ ~policy =
+  if not via_computed then Deflect policy
+  else if deflected && protected_ then Drive
+  else Forward
+
+let is_decision e =
+  match e.action with Forward | Deflect _ | Drive -> true | _ -> false
+
+let is_terminal e = match e.action with Deliver | Drop _ -> true | _ -> false
+
+let action_to_string = function
+  | Inject -> "inject"
+  | Forward -> "forward"
+  | Deflect p -> "deflect:" ^ p
+  | Drive -> "drive"
+  | Deliver -> "deliver"
+  | Reencode -> "reencode"
+  | Drop r -> "drop:" ^ r
+
+let action_of_string s =
+  match String.index_opt s ':' with
+  | None -> (
+      match s with
+      | "inject" -> Ok Inject
+      | "forward" -> Ok Forward
+      | "drive" -> Ok Drive
+      | "deliver" -> Ok Deliver
+      | "reencode" -> Ok Reencode
+      | _ -> Error (Printf.sprintf "unknown action %S" s))
+  | Some i -> (
+      let head = String.sub s 0 i in
+      let arg = String.sub s (i + 1) (String.length s - i - 1) in
+      match head with
+      | "deflect" -> Ok (Deflect arg)
+      | "drop" -> Ok (Drop arg)
+      | _ -> Error (Printf.sprintf "unknown action %S" s))
+
+let pp ppf e =
+  Format.fprintf ppf "@[#%d t=%.9g uid=%d sw=%d in=%d out=%d ttl=%d %s@]" e.seq
+    e.vtime e.uid e.switch e.in_port e.out_port e.ttl
+    (action_to_string e.action)
+
+(* Fixed key order so traces diff cleanly and golden fixtures are stable.
+   %.9g keeps engine timestamps byte-stable across runs without printing
+   float noise. *)
+let to_jsonl e =
+  Printf.sprintf
+    {|{"seq":%d,"t":%.9g,"uid":%d,"sw":%d,"in":%d,"out":%d,"ttl":%d,"act":"%s"}|}
+    e.seq e.vtime e.uid e.switch e.in_port e.out_port e.ttl
+    (action_to_string e.action)
+
+(* Minimal strict parser for the exact shape [to_jsonl] emits: a flat object
+   of int/float fields plus one string field, no escapes, no nesting. *)
+let of_jsonl line =
+  let line = String.trim line in
+  let n = String.length line in
+  if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then
+    Error "not a JSON object"
+  else
+    let body = String.sub line 1 (n - 2) in
+    let fields = String.split_on_char ',' body in
+    let parse_field acc field =
+      match acc with
+      | Error _ as e -> e
+      | Ok kvs -> (
+          match String.index_opt field ':' with
+          | None -> Error (Printf.sprintf "malformed field %S" field)
+          | Some i ->
+              let key = String.trim (String.sub field 0 i) in
+              let value =
+                String.trim (String.sub field (i + 1) (String.length field - i - 1))
+              in
+              let key_len = String.length key in
+              if key_len < 2 || key.[0] <> '"' || key.[key_len - 1] <> '"' then
+                Error (Printf.sprintf "malformed key %S" key)
+              else Ok ((String.sub key 1 (key_len - 2), value) :: kvs))
+    in
+    match List.fold_left parse_field (Ok []) fields with
+    | Error _ as e -> e
+    | Ok kvs -> (
+        let find k =
+          match List.assoc_opt k kvs with
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "missing field %S" k)
+        in
+        let int_field k =
+          match find k with
+          | Error _ as e -> e
+          | Ok v -> (
+              match int_of_string_opt v with
+              | Some i -> Ok i
+              | None -> Error (Printf.sprintf "field %S: bad int %S" k v))
+        in
+        let float_field k =
+          match find k with
+          | Error _ as e -> e
+          | Ok v -> (
+              match float_of_string_opt v with
+              | Some f -> Ok f
+              | None -> Error (Printf.sprintf "field %S: bad float %S" k v))
+        in
+        let string_field k =
+          match find k with
+          | Error _ as e -> e
+          | Ok v ->
+              let len = String.length v in
+              if len < 2 || v.[0] <> '"' || v.[len - 1] <> '"' then
+                Error (Printf.sprintf "field %S: bad string %S" k v)
+              else Ok (String.sub v 1 (len - 2))
+        in
+        let ( let* ) r f = Result.bind r f in
+        let* seq = int_field "seq" in
+        let* vtime = float_field "t" in
+        let* uid = int_field "uid" in
+        let* switch = int_field "sw" in
+        let* in_port = int_field "in" in
+        let* out_port = int_field "out" in
+        let* ttl = int_field "ttl" in
+        let* act = string_field "act" in
+        let* action = action_of_string act in
+        Ok { seq; vtime; uid; switch; in_port; out_port; ttl; action })

@@ -1,0 +1,59 @@
+(** Flight-recorder events: one compact record per forwarding decision (and
+    per packet lifecycle step), emitted by both the packet-level simulator
+    ({!Netsim}) and the analytic walker ({!Kar.Walk}) so the two planes can
+    be diffed event-for-event.
+
+    The action taxonomy follows the paper's forwarding semantics: a switch
+    either forwards by the modulo computation ([Forward]), picks a random
+    healthy port because the computed one is unusable ([Deflect]), or — the
+    driven-deflection case — forwards a {e previously deflected} packet by a
+    residue that was folded into the route ID for protection ([Drive]).
+    [Drive] versus [Forward] needs to know which switches carry residues;
+    the recorder is configured with that set (see {!Recorder.create}). *)
+
+type action =
+  | Inject (** packet entered the network at an edge node *)
+  | Forward (** computed port [R mod s], packet not previously deflected *)
+  | Deflect of string
+      (** random pick; the payload is the policy short name (hp/avp/nip) *)
+  | Drive
+      (** computed port of a protected switch, packet previously deflected
+          — the paper's driven deflection (Eq. 4 residues) *)
+  | Deliver (** consumed by the destination edge *)
+  | Reencode (** stranded at a foreign edge; fresh route ID stamped *)
+  | Drop of string (** reason slug: link_down/queue_full/no_route/ttl/... *)
+
+type t = {
+  seq : int; (** recorder-assigned global sequence number *)
+  vtime : float; (** virtual time (netsim) or hop index (walker) *)
+  uid : int; (** packet uid *)
+  switch : int; (** node label where the event happened; [-1] = on-wire *)
+  in_port : int; (** arrival port; [-1] for local injection / unknown *)
+  out_port : int; (** selected output port; [-1] for terminal actions *)
+  ttl : int; (** remaining hop budget after this event *)
+  action : action;
+}
+
+(** [decision_action ~via_computed ~deflected ~protected_ ~policy] is the
+    classification shared by Karnet and Walk: a random pick is a [Deflect];
+    a modulo forward of a deflected packet at a protected switch is a
+    [Drive]; everything else is a plain [Forward]. *)
+val decision_action :
+  via_computed:bool -> deflected:bool -> protected_:bool -> policy:string -> action
+
+(** [is_decision e] is true for [Forward], [Deflect] and [Drive] — the
+    events that constitute the switch-hop sequence of a packet. *)
+val is_decision : t -> bool
+
+(** [is_terminal e] is true for [Deliver] and [Drop]. *)
+val is_terminal : t -> bool
+
+val action_to_string : action -> string
+val pp : Format.formatter -> t -> unit
+
+(** One-line JSON rendering, stable field order — the on-disk trace format
+    ([--trace out.jsonl]) and the golden-fixture format. *)
+val to_jsonl : t -> string
+
+(** Strict parser for lines produced by {!to_jsonl}. *)
+val of_jsonl : string -> (t, string) result

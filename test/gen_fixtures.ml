@@ -1,0 +1,25 @@
+(* Regenerates the golden trace fixtures under test/fixtures/.  Run from
+   the repo root after an intentional change to the simulator's decision
+   sequence:
+
+     dune exec test/gen_fixtures.exe -- test/fixtures
+
+   The replay test (test_trace.ml, "fixtures" group) diffs the checked-in
+   files byte for byte against a fresh run of the same canonical
+   scenarios. *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/fixtures" in
+  let write name events =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    List.iter
+      (fun e ->
+        output_string oc (Trace.Event.to_jsonl e);
+        output_char oc '\n')
+      events;
+    close_out oc;
+    Printf.printf "wrote %s (%d events)\n" path (List.length events)
+  in
+  write "fig1_nip_partial.jsonl" (Experiments.Invariants.canonical_trace `Fig1);
+  write "net15_nip_full.jsonl" (Experiments.Invariants.canonical_trace `Net15)

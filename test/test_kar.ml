@@ -371,6 +371,73 @@ let test_mean_route_bits_sane () =
   let bits = Kar.Ids.mean_route_bits g ~trials:100 ~seed:5 in
   Alcotest.(check bool) "positive and bounded" true (bits > 1.0 && bits < 64.0)
 
+(* Random pairwise-coprime core topologies: a connected G(n,p) graph whose
+   core switches get distinct primes larger than their degree.  Any plan
+   built over such a labelling must satisfy Eq. 3 literally — every residue
+   is recovered by [route_id mod switch_id] — and folding protection hops
+   in (which re-runs the CRT with extra residues) must preserve that for
+   old and new residues alike. *)
+
+let prop_coprime_plan_residues =
+  qtest ~count:50 "Eq. 3 on random coprime topologies (incl. protected)"
+    QCheck2.Gen.(triple (1 -- 1000) (6 -- 14) (0 -- 10_000))
+    (fun (seed, n, pick) ->
+      let g = Topo.Gen.gnp ~n ~p:0.3 ~seed in
+      let g = Kar.Ids.assign g (Kar.Ids.Random_primes seed) in
+      (* labelling invariants: distinct primes, each > degree *)
+      let labelling_ok =
+        Kar.Ids.validate g = []
+        && List.for_all
+             (fun v ->
+               let id = Graph.label g v in
+               Kar.Ids.is_prime id && id > Graph.degree g v)
+             (Graph.core_nodes g)
+      in
+      let nodes = Array.of_list (Graph.core_nodes g) in
+      let src = nodes.(pick mod n) and dst = nodes.((pick / n) mod n) in
+      if (not labelling_ok) || src = dst then labelling_ok
+      else
+        match Topo.Paths.shortest_path g src dst with
+        | None -> false (* gnp is conditioned on connectivity *)
+        | Some path -> (
+            match Kar.Route.of_core_path g path ~egress_port:0 with
+            | Error _ -> false
+            | Ok plan ->
+                let residues_recovered (plan : Kar.Route.plan) =
+                  List.for_all
+                    (fun r ->
+                      Z.equal
+                        (Z.rem plan.Kar.Route.route_id (Z.of_int r.Rns.modulus))
+                        (Z.of_int r.Rns.value))
+                    plan.Kar.Route.residues
+                in
+                (* one protection hop: an off-path neighbour of a path
+                   node, driven back onto the path *)
+                let in_plan l =
+                  List.exists (fun r -> r.Rns.modulus = l) plan.Kar.Route.residues
+                in
+                let hop =
+                  List.find_map
+                    (fun v ->
+                      List.find_map
+                        (fun w ->
+                          if Graph.is_core g w && not (in_plan (Graph.label g w))
+                          then Some (Graph.label g w, Graph.label g v)
+                          else None)
+                        (Graph.neighbors g v))
+                    path
+                in
+                residues_recovered plan
+                && (match hop with
+                    | None -> true (* path covers the whole graph *)
+                    | Some hop -> (
+                        match Kar.Route.protect g plan [ hop ] with
+                        | Error _ -> false
+                        | Ok protected_ ->
+                            List.length protected_.Kar.Route.residues
+                            = List.length plan.Kar.Route.residues + 1
+                            && residues_recovered protected_))))
+
 (* --- Controller --- *)
 
 let test_scenario_plans_verify () =
@@ -709,6 +776,7 @@ let () =
           prop_assign_valid;
           Alcotest.test_case "edges preserved" `Quick test_assign_preserves_edges;
           Alcotest.test_case "mean route bits sane" `Quick test_mean_route_bits_sane;
+          prop_coprime_plan_residues;
         ] );
       ( "controller",
         [

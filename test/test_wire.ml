@@ -75,6 +75,42 @@ let test_header_bad_version () =
   | Error e -> Alcotest.failf "wrong error %a" H.pp_error e
   | Ok _ -> Alcotest.fail "expected version rejection"
 
+let test_header_ttl_boundaries () =
+  (* both ends of the ttl field must round-trip exactly *)
+  List.iter
+    (fun ttl ->
+      match H.encode (H.make ~ttl (Z.of_int 660)) with
+      | Error e -> Alcotest.failf "encode ttl=%d: %a" ttl H.pp_error e
+      | Ok bytes ->
+        (match H.decode bytes with
+         | Ok (h, _) -> Alcotest.(check int) (Printf.sprintf "ttl %d" ttl) ttl h.H.ttl
+         | Error e -> Alcotest.failf "decode ttl=%d: %a" ttl H.pp_error e))
+    [ 0; 1; 254; 255 ]
+
+let test_header_bad_ttl () =
+  List.iter
+    (fun ttl ->
+      match H.encode (H.make ~ttl (Z.of_int 44)) with
+      | Error (H.Bad_ttl reported) ->
+        Alcotest.(check int) "reported ttl" ttl reported
+      | Error e -> Alcotest.failf "ttl=%d wrong error %a" ttl H.pp_error e
+      | Ok _ -> Alcotest.failf "ttl=%d accepted" ttl)
+    [ -1; 256; 1000; -256 ]
+
+let test_header_ttl_corruption_detected () =
+  (* the ttl byte is under the checksum: a corrupted ttl must not decode *)
+  let bytes = Result.get_ok (H.encode (H.make ~ttl:128 (Z.of_int 660))) in
+  List.iter
+    (fun bit ->
+      let corrupted = Bytes.of_string bytes in
+      Bytes.set corrupted 1
+        (Char.chr (Char.code (Bytes.get corrupted 1) lxor (1 lsl bit)));
+      match H.decode (Bytes.to_string corrupted) with
+      | Error H.Bad_checksum -> ()
+      | Error e -> Alcotest.failf "bit %d: wrong error %a" bit H.pp_error e
+      | Ok (h, _) -> Alcotest.failf "bit %d: decoded with ttl %d" bit h.H.ttl)
+    [ 0; 3; 7 ]
+
 let test_checksum_rfc1071 () =
   (* the classic RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2,
      checksum = complement = 220d *)
@@ -224,6 +260,10 @@ let () =
           Alcotest.test_case "truncation rejected" `Quick test_header_rejects_truncation;
           Alcotest.test_case "corruption detected" `Quick test_header_detects_corruption;
           Alcotest.test_case "bad version rejected" `Quick test_header_bad_version;
+          Alcotest.test_case "ttl boundaries round-trip" `Quick test_header_ttl_boundaries;
+          Alcotest.test_case "out-of-range ttl rejected" `Quick test_header_bad_ttl;
+          Alcotest.test_case "ttl corruption detected" `Quick
+            test_header_ttl_corruption_detected;
           Alcotest.test_case "RFC 1071 checksum" `Quick test_checksum_rfc1071;
           prop_roundtrip; prop_bitflip_detected; prop_decode_total;
         ] );
