@@ -1,16 +1,30 @@
 (* Benchmark harness.
 
-   Two halves:
-   1. bechamel micro-benchmarks of the compute kernels (bignum arithmetic,
-      CRT vs Garner encoding, the per-packet forwarding decision, the exact
-      Markov analysis, the event engine) — the "design choices" ablations;
-   2. regeneration of every table and figure of the paper (quick profile by
-      default; KAR_PROFILE=paper for the published durations). *)
+   Three modes:
+   - no arguments: bechamel micro-benchmarks of the compute kernels
+     (bignum arithmetic, CRT vs Garner encoding, the per-packet forwarding
+     decision, the exact Markov analysis, the event engine) as a text
+     table, then regeneration of every table and figure of the paper
+     (quick profile by default; KAR_PROFILE=paper for the published
+     durations);
+   - [--json FILE]: machine-readable run — micro-benchmarks plus an
+     end-to-end netsim throughput probe and a steady-state allocation
+     counter, written to FILE as one flat JSON object (the perf
+     trajectory's data points; BENCH.json at the repo root is the
+     committed baseline);
+   - [--check BASELINE]: after measuring, compare against a previous
+     [--json] output and exit non-zero if any kernel regressed more than
+     [regression_factor].
+
+   [--quota SECONDS] shrinks the per-test bechamel quota (CI smoke runs use
+   a small one). *)
 
 open Bechamel
 open Toolkit
 
 module Z = Bignum.Z
+
+let regression_factor = 3.0
 
 (* --- inputs shared by the micro-benches --- *)
 
@@ -42,6 +56,14 @@ let tests =
     Test.make ~name:"bignum/divmod-200bit" (Staged.stage (fun () -> Z.divmod big_a big_b));
     Test.make ~name:"bignum/egcd-200bit" (Staged.stage (fun () -> Z.egcd big_a big_b));
     Test.make ~name:"bignum/to_string" (Staged.stage (fun () -> Z.to_string big_a));
+    (* the remainder-only small-modulus kernel vs the full division it
+       replaced on the data plane *)
+    Test.make ~name:"bignum/rem_int-200bit"
+      (Staged.stage (fun () -> Z.rem_int big_a 1009));
+    Test.make ~name:"bignum/erem-200bit-reference"
+      (Staged.stage
+         (let m = Z.of_int 1009 in
+          fun () -> Z.to_int_exn (Z.erem big_a m)));
     (* RNS encoding: direct CRT vs Garner (ablation: reconstruction cost) *)
     Test.make ~name:"rns/encode-crt-10sw"
       (Staged.stage (fun () -> Rns.encode residues_full));
@@ -49,13 +71,32 @@ let tests =
       (Staged.stage (fun () -> Rns.encode_garner residues_full));
     Test.make ~name:"rns/port (data plane op)"
       (Staged.stage (fun () -> Rns.port plan_full.Kar.Route.route_id 13));
+    (* exactly the seed implementation of Rns.port, [Z.of_int] included *)
+    Test.make ~name:"rns/port-erem-reference"
+      (Staged.stage (fun () ->
+           Z.to_int_exn (Z.erem plan_full.Kar.Route.route_id (Z.of_int 13))));
+    Test.make ~name:"kar/residue-cache-lookup"
+      (Staged.stage (fun () ->
+           Kar.Route.cached_port plan_full
+             ~route_id:plan_full.Kar.Route.route_id ~switch_id:13));
     Test.make ~name:"rns/extend-1-residue"
       (Staged.stage (fun () ->
            Rns.extend ~route_id:plan_full.Kar.Route.route_id
              ~modulus:plan_full.Kar.Route.modulus
              [ { Rns.modulus = 59; value = 1 } ]));
-    (* forwarding decision (per-packet cost of a KAR switch) *)
+    (* forwarding decision (per-packet cost of a KAR switch): the
+       zero-allocation fast path Karnet actually runs — residue-cache
+       lookup + packed-int decision *)
     Test.make ~name:"kar/forward-nip"
+      (Staged.stage
+         (let rng = Util.Prng.of_int 9 in
+          let route_id = plan_full.Kar.Route.route_id in
+          fun () ->
+            let c = Kar.Route.cached_port plan_full ~route_id ~switch_id:13 in
+            Kar.Policy.decide Kar.Policy.Not_input_port ~computed:c ~in_port:0
+              ~deflected:false ~ports:sw13_ports rng));
+    (* the boxed compatibility wrapper (what Walk/Markov callers use) *)
+    Test.make ~name:"kar/forward-nip-compat"
       (Staged.stage
          (let rng = Util.Prng.of_int 9 in
           let packet =
@@ -115,16 +156,16 @@ let tests =
     (* shortest path on the RNP graph *)
     Test.make ~name:"topo/bfs-rnp"
       (Staged.stage (fun () ->
-           Topo.Paths.bfs rnp.Topo.Nets.graph rnp.Topo.Nets.ingress));
+           Topo.Paths.bfs rnp.Topo.Nets.graph rnp.Topo.Nets.ingress))
   ]
 
-let run_benchmarks () =
+let run_benchmarks ~quota () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
   in
   let to_rows test =
     let results = Benchmark.all cfg instances test in
@@ -133,21 +174,200 @@ let run_benchmarks () =
       (fun name ols_result acc ->
         let ns =
           match Analyze.OLS.estimates ols_result with
-          | Some (est :: _) -> Printf.sprintf "%12.1f" est
-          | Some [] | None -> "n/a"
+          | Some (est :: _) -> Some est
+          | Some [] | None -> None
         in
         (name, ns) :: acc)
       analysis []
   in
-  let rows =
-    List.concat_map (fun test -> to_rows test) tests
-    |> List.sort Stdlib.compare
-  in
+  List.concat_map (fun test -> to_rows test) tests |> List.sort Stdlib.compare
+
+let print_benchmarks rows =
   print_endline "=== Micro-benchmarks (ns/run, OLS on monotonic clock) ===";
   print_string
     (Util.Texttab.render ~header:[ "kernel"; "ns/run" ]
-       (List.map (fun (n, v) -> [ n; v ]) rows));
+       (List.map
+          (fun (n, v) ->
+            [ n;
+              (match v with
+               | Some est -> Printf.sprintf "%12.1f" est
+               | None -> "n/a") ])
+          rows));
   print_newline ()
+
+(* --- end-to-end netsim throughput probe ---
+
+   A fixed workload (net15, full protection, NIP, residue cache on, no
+   failures) pushed through the simulator; the score is wall-clock packets
+   per second, the whole-stack number the kernel improvements must show up
+   in. *)
+
+let netsim_packets_per_sec ~packets =
+  let sc = Topo.Nets.net15 in
+  let g = sc.Topo.Nets.graph in
+  let engine = Netsim.Engine.create () in
+  let net = Netsim.Net.create ~graph:g ~engine () in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Full in
+  Netsim.Karnet.install_switches ~plan net ~policy:Kar.Policy.Not_input_port
+    ~seed:1;
+  let cache = Kar.Controller.create_cache g in
+  Netsim.Karnet.install_standard_edges net
+    ~controller_reencode:(fun (p : Netsim.Packet.t) ->
+      Kar.Controller.reencode cache ~at:p.Netsim.Packet.dst
+        ~dst:p.Netsim.Packet.dst);
+  for i = 0 to packets - 1 do
+    ignore
+      (Netsim.Engine.schedule_at engine
+         (float_of_int i *. 2e-5)
+         (fun () ->
+           let packet =
+             Netsim.Packet.make
+               ~uid:(Netsim.Net.fresh_uid net)
+               ~src:sc.Topo.Nets.ingress ~dst:sc.Topo.Nets.egress
+               ~size_bytes:512 ~route_id:plan.Kar.Route.route_id
+               ~born:(Netsim.Engine.now engine) Netsim.Packet.Raw
+           in
+           Netsim.Net.inject net ~at:sc.Topo.Nets.ingress packet))
+  done;
+  let t0 = Unix.gettimeofday () in
+  Netsim.Engine.run engine;
+  let wall = Unix.gettimeofday () -. t0 in
+  let s = Netsim.Net.stats net in
+  if s.Netsim.Net.delivered <> packets then
+    Printf.eprintf "netsim probe: %d/%d delivered\n%!" s.Netsim.Net.delivered
+      packets;
+  float_of_int packets /. wall
+
+(* Minor-heap words per steady-state forwarding decision (cache lookup +
+   packed decision), measured directly: the whole point of the fast path is
+   that this is 0.0. *)
+let forward_minor_words_per_packet ~iters =
+  let rng = Util.Prng.of_int 9 in
+  let route_id = plan_full.Kar.Route.route_id in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    let c = Kar.Route.cached_port plan_full ~route_id ~switch_id:13 in
+    ignore
+      (Sys.opaque_identity
+         (Kar.Policy.decide Kar.Policy.Not_input_port ~computed:c ~in_port:0
+            ~deflected:false ~ports:sw13_ports rng))
+  done;
+  let w1 = Gc.minor_words () in
+  (w1 -. w0) /. float_of_int iters
+
+(* --- machine-readable output (a flat {"key": number} JSON object) --- *)
+
+let json_escape name =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length name) (String.get name)))
+
+let write_json file entries =
+  let oc = open_out file in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  \"%s\": %.6g%s\n" (json_escape k) v
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc
+
+(* Parse the flat {"key": number, ...} files written by [write_json].  Not
+   a general JSON parser: just string keys and numeric values. *)
+let parse_json file =
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  let entries = ref [] in
+  let n = String.length content in
+  let i = ref 0 in
+  while !i < n do
+    match String.index_from_opt content !i '"' with
+    | None -> i := n
+    | Some q0 ->
+      (* the key, unescaping the two escapes write_json produces *)
+      let buf = Buffer.create 32 in
+      let j = ref (q0 + 1) in
+      let stop = ref false in
+      while (not !stop) && !j < n do
+        (match content.[!j] with
+         | '\\' when !j + 1 < n ->
+           Buffer.add_char buf content.[!j + 1];
+           incr j
+         | '"' -> stop := true
+         | c -> Buffer.add_char buf c);
+        incr j
+      done;
+      let key = Buffer.contents buf in
+      (* skip to the value after the colon *)
+      (match String.index_from_opt content !j ':' with
+       | None -> i := n
+       | Some c0 ->
+         let v0 = ref (c0 + 1) in
+         while
+           !v0 < n && (content.[!v0] = ' ' || content.[!v0] = '\t')
+         do
+           incr v0
+         done;
+         let v1 = ref !v0 in
+         while
+           !v1 < n
+           && (match content.[!v1] with
+               | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+               | _ -> false)
+         do
+           incr v1
+         done;
+         (if !v1 > !v0 then
+            match float_of_string_opt (String.sub content !v0 (!v1 - !v0)) with
+            | Some v -> entries := (key, v) :: !entries
+            | None -> ());
+         i := !v1)
+  done;
+  List.rev !entries
+
+let higher_is_better key = key = "netsim/packets-per-sec"
+
+(* Keys whose scale is not a kernel latency: excluded from the regression
+   gate (throughput is checked in the other direction; the allocation
+   counter is asserted exactly by the test suite). *)
+let check_entry (key, baseline) fresh =
+  match List.assoc_opt key fresh with
+  | None -> None (* kernel renamed/removed: not a regression *)
+  | Some now ->
+    if key = "gc/forward-minor-words-per-packet" then None
+    else if higher_is_better key then
+      if baseline > 0.0 && now < baseline /. regression_factor then
+        Some
+          (Printf.sprintf "%s: %.6g -> %.6g (more than %.1fx slower)" key
+             baseline now regression_factor)
+      else None
+    else if baseline > 0.0 && now > baseline *. regression_factor then
+      Some
+        (Printf.sprintf "%s: %.6g ns -> %.6g ns (more than %.1fx slower)" key
+           baseline now regression_factor)
+    else None
+
+let measure_all ~quota ~packets =
+  let rows = run_benchmarks ~quota () in
+  print_benchmarks rows;
+  let kernels =
+    List.filter_map (fun (n, v) -> Option.map (fun est -> (n, est)) v) rows
+  in
+  let pps = netsim_packets_per_sec ~packets in
+  let words = forward_minor_words_per_packet ~iters:100_000 in
+  Printf.printf "netsim end-to-end: %.0f packets/s\n" pps;
+  Printf.printf "steady-state forward path: %.3f minor words/packet\n\n" words;
+  kernels
+  @ [ ("netsim/packets-per-sec", pps);
+      ("gc/forward-minor-words-per-packet", words) ]
 
 let run_experiments () =
   let profile = Experiments.Profile.from_env () in
@@ -175,5 +395,50 @@ let run_experiments () =
   print_endline (Experiments.Ablations.delivery_table ~profile ())
 
 let () =
-  run_benchmarks ();
-  run_experiments ()
+  let json_file = ref None
+  and check_file = ref None
+  and quota = ref 0.5 in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse rest
+    | "--check" :: file :: rest ->
+      check_file := Some file;
+      parse rest
+    | "--quota" :: q :: rest ->
+      quota := float_of_string q;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf
+        "usage: bench [--json FILE] [--check BASELINE] [--quota SECONDS]\n\
+         unknown argument: %s\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match (!json_file, !check_file) with
+  | None, None ->
+    print_benchmarks (run_benchmarks ~quota:!quota ());
+    run_experiments ()
+  | _ ->
+    let results = measure_all ~quota:!quota ~packets:10_000 in
+    (match !json_file with
+     | Some file ->
+       write_json file results;
+       Printf.printf "wrote %s\n" file
+     | None -> ());
+    (match !check_file with
+     | None -> ()
+     | Some baseline_file ->
+       let baseline = parse_json baseline_file in
+       let regressions =
+         List.filter_map (fun kv -> check_entry kv results) baseline
+       in
+       (match regressions with
+        | [] ->
+          Printf.printf "bench check: no kernel regressed more than %.1fx vs %s\n"
+            regression_factor baseline_file
+        | rs ->
+          List.iter (fun r -> Printf.eprintf "REGRESSION %s\n" r) rs;
+          exit 1))

@@ -185,6 +185,29 @@ let testbit a i =
   let limb = i / limb_bits and bit = i mod limb_bits in
   limb < Array.length a && (a.(limb) lsr bit) land 1 = 1
 
+(* Remainder-only reduction by a machine-int modulus: fold the limbs from
+   most to least significant with a precomputed [base mod s].  No quotient
+   array, no allocation — the loop is a tail recursion over machine ints.
+   Overflow-safe for s < base: r, bm <= base - 2 and a.(i) <= base - 1, so
+   r*bm + a.(i) <= (2^31-2)^2 + 2^31 - 1 < 2^62 - 1 = max_int. *)
+let rem_int a s =
+  if s <= 0 || s >= base then invalid_arg "Nat.rem_int: modulus out of range";
+  match Array.length a with
+  (* magnitudes up to two limbs fit in 62 bits: one machine division,
+     skipping even the [base mod s] setup (route IDs of small deployments
+     land here) *)
+  | 0 -> 0
+  | 1 -> Array.unsafe_get a 0 mod s
+  | 2 ->
+    ((Array.unsafe_get a 1 lsl limb_bits) lor Array.unsafe_get a 0) mod s
+  | len ->
+    let bm = base mod s in
+    let rec fold i r =
+      if i < 0 then r
+      else fold (i - 1) (((r * bm) + Array.unsafe_get a i) mod s)
+    in
+    fold (len - 1) 0
+
 (* Division of a canonical magnitude by a single limb [d]; returns the
    quotient and the remainder limb. *)
 let divmod_limb a d =

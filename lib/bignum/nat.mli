@@ -60,6 +60,13 @@ val karatsuba_threshold : int
     @raise Division_by_zero if [b] is zero. *)
 val divmod : int array -> int array -> int array * int array
 
+(** [rem_int a s] is [a mod s] for a machine-int modulus [1 <= s < base],
+    folding the limbs high-to-low with a precomputed [base mod s].  Unlike
+    {!divmod} it builds no quotient and allocates nothing — this is the
+    data-plane kernel behind [Rns.port_fast].
+    @raise Invalid_argument when [s] is outside [\[1, base)]. *)
+val rem_int : int array -> int -> int
+
 (** [shift_left a k] is [a * 2^k].  [k >= 0]. *)
 val shift_left : int array -> int -> int array
 

@@ -65,6 +65,21 @@ let erem a b =
   let r = rem a b in
   if r.sign >= 0 then r else add r (abs b)
 
+(* Euclidean remainder by a small positive machine int, without going
+   through [divmod]: for s < Nat.base this is a single limb fold with no
+   allocation at all (the KAR data-plane operation, paper Eq. 1).  Larger
+   moduli fall back to the generic [erem]. *)
+let rem_int a s =
+  if s <= 0 then invalid_arg "Z.rem_int: modulus must be positive";
+  if s < Nat.base then begin
+    let r = Nat.rem_int a.mag s in
+    if a.sign >= 0 || r = 0 then r else s - r
+  end
+  else
+    match to_int_opt (erem a (of_int s)) with
+    | Some r -> r
+    | None -> assert false (* 0 <= r < s <= max_int *)
+
 let compare a b =
   if a.sign <> b.sign then Stdlib.compare a.sign b.sign
   else if a.sign >= 0 then Nat.compare a.mag b.mag

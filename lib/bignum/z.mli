@@ -50,6 +50,12 @@ val rem : t -> t -> t
     the [<a>_b] operation of the paper (Eq. 5). *)
 val erem : t -> t -> t
 
+(** [rem_int a s] is [to_int_exn (erem a (of_int s))] computed without the
+    quotient: for [s < 2^31] it folds the limbs of [a] with a precomputed
+    [2^31 mod s] in machine-int arithmetic and allocates nothing.  This is
+    the per-packet forwarding kernel ([<R>_s], Eq. 1).  Requires [s > 0]. *)
+val rem_int : t -> int -> int
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val min : t -> t -> t

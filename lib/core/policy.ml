@@ -29,26 +29,67 @@ type decision =
 
 type packet_view = { route_id : Z.t; in_port : int; deflected : bool }
 
-let computed_port ~switch_id ~route_id =
-  Z.to_int_exn (Z.erem route_id (Z.of_int switch_id))
+let computed_port ~switch_id ~route_id = Z.rem_int route_id switch_id
 
-(* Candidate set for a random deflection draw: every healthy port
-   (host-facing ones included -- a packet deflected into an edge strands
-   there and is re-encoded, the paper's second edge-handling approach).
-   [exclude] removes the input port for NIP. *)
-let random_candidates ports ~exclude =
-  let acc = ref [] in
-  Array.iteri
-    (fun p st ->
-      if st.up && (match exclude with Some q -> p <> q | None -> true) then
-        acc := p :: !acc)
-    ports;
-  List.rev !acc
+(* Packed forwarding decision: the steady-state data plane must not touch
+   the minor heap, so [decide] returns port and deflected-flag in one
+   immediate int instead of a (decision * bool) pair.  Port -1 encodes
+   Drop; the +1 bias keeps the packed value non-negative. *)
+let code ~port ~deflected = ((port + 1) lsl 1) lor (if deflected then 1 else 0)
+let code_port c = (c lsr 1) - 1
+let code_deflected c = c land 1 = 1
 
-let pick rng = function
-  | [] -> Drop
-  | [ p ] -> Forward p
-  | candidates -> Forward (List.nth candidates (Util.Prng.int rng (List.length candidates)))
+(* Uniform draw over the healthy ports (for NIP, minus the input port),
+   straight off the [ports] array: count the candidates, draw one index,
+   select it — no candidate list, no [List.nth].  [exclude = -1] excludes
+   nothing.  Consumes exactly one PRNG draw when there are >= 2 candidates
+   and none otherwise ([Prng.int _ 1] short-circuits), draw-for-draw
+   identical to the list-based pick it replaces, so seeded traces are
+   unchanged.  Returns the port, or -1 when no candidate is healthy. *)
+let draw_healthy ports ~exclude rng =
+  let n = Array.length ports in
+  let rec count p acc =
+    if p >= n then acc
+    else count (p + 1) (if ports.(p).up && p <> exclude then acc + 1 else acc)
+  in
+  match count 0 0 with
+  | 0 -> -1
+  | k ->
+    let rec nth p remaining =
+      if ports.(p).up && p <> exclude then
+        if remaining = 0 then p else nth (p + 1) (remaining - 1)
+      else nth (p + 1) remaining
+    in
+    nth 0 (Util.Prng.int rng k)
+
+let decide policy ~computed:c ~in_port ~deflected ~ports rng =
+  let n_ports = Array.length ports in
+  let computed_usable = c < n_ports && ports.(c).up in
+  match policy with
+  | No_deflection ->
+    if computed_usable then code ~port:c ~deflected else code ~port:(-1) ~deflected
+  | Hot_potato ->
+    if deflected then code ~port:(draw_healthy ports ~exclude:(-1) rng) ~deflected:true
+    else if computed_usable then code ~port:c ~deflected:false
+    else code ~port:(draw_healthy ports ~exclude:(-1) rng) ~deflected:true
+  | Any_valid_port ->
+    if computed_usable then code ~port:c ~deflected
+    else code ~port:(draw_healthy ports ~exclude:(-1) rng) ~deflected:true
+  | Not_input_port ->
+    if computed_usable && c <> in_port then code ~port:c ~deflected
+    else begin
+      match draw_healthy ports ~exclude:in_port rng with
+      | -1 ->
+        (* Degree-one dead end: the paper's Algorithm 1 would spin forever;
+           we send the packet back where it came from if that port is up. *)
+        code
+          ~port:
+            (if in_port >= 0 && in_port < n_ports && ports.(in_port).up then
+               in_port
+             else -1)
+          ~deflected:true
+      | port -> code ~port ~deflected:true
+    end
 
 (* Could [forward] have returned [port] via the modulo computation rather
    than a random draw?  Decidable after the fact because every random draw
@@ -56,40 +97,24 @@ let pick rng = function
    computed port, and NIP never re-emits the computed port when it equals
    the input port.  Used by the flight recorder to classify decisions
    without touching the hot path. *)
-let via_computed policy ~switch_id ~(packet : packet_view) ~port =
-  let c = computed_port ~switch_id ~route_id:packet.route_id in
+let via_computed_port policy ~computed:c ~in_port ~deflected ~port =
   port = c
   && (match policy with
       | No_deflection -> true
-      | Hot_potato -> not packet.deflected
+      | Hot_potato -> not deflected
       | Any_valid_port -> true
-      | Not_input_port -> c <> packet.in_port)
+      | Not_input_port -> c <> in_port)
+
+let via_computed policy ~switch_id ~(packet : packet_view) ~port =
+  via_computed_port policy
+    ~computed:(computed_port ~switch_id ~route_id:packet.route_id)
+    ~in_port:packet.in_port ~deflected:packet.deflected ~port
 
 let forward policy ~switch_id ~ports ~packet rng =
-  let n_ports = Array.length ports in
   let c = computed_port ~switch_id ~route_id:packet.route_id in
-  let computed_usable = c < n_ports && ports.(c).up in
-  match policy with
-  | No_deflection ->
-    ((if computed_usable then Forward c else Drop), packet.deflected)
-  | Hot_potato ->
-    if packet.deflected then
-      (pick rng (random_candidates ports ~exclude:None), true)
-    else if computed_usable then (Forward c, false)
-    else (pick rng (random_candidates ports ~exclude:None), true)
-  | Any_valid_port ->
-    if computed_usable then (Forward c, packet.deflected)
-    else (pick rng (random_candidates ports ~exclude:None), true)
-  | Not_input_port ->
-    if computed_usable && c <> packet.in_port then (Forward c, packet.deflected)
-    else begin
-      match random_candidates ports ~exclude:(Some packet.in_port) with
-      | [] ->
-        (* Degree-one dead end: the paper's Algorithm 1 would spin forever;
-           we send the packet back where it came from if that port is up. *)
-        ((if packet.in_port < n_ports && ports.(packet.in_port).up then
-            Forward packet.in_port
-          else Drop),
-         true)
-      | candidates -> (pick rng candidates, true)
-    end
+  let d =
+    decide policy ~computed:c ~in_port:packet.in_port
+      ~deflected:packet.deflected ~ports rng
+  in
+  let port = code_port d in
+  ((if port < 0 then Drop else Forward port), code_deflected d)

@@ -52,7 +52,11 @@ type packet_view = {
 (** [forward policy ~switch_id ~ports ~packet rng] is the forwarding
     decision and the packet's updated [deflected] flag.  [ports.(p)]
     describes local port [p]; [rng] is only consulted on deflection, so
-    failure-free forwarding is deterministic. *)
+    failure-free forwarding is deterministic.
+
+    This is a convenience wrapper over {!decide} that allocates its result;
+    per-packet hot paths (the simulator's switch handler) call {!decide}
+    directly and stay off the heap. *)
 val forward :
   t ->
   switch_id:int ->
@@ -61,8 +65,33 @@ val forward :
   Util.Prng.t ->
   decision * bool
 
+(** {2 Allocation-free fast path}
+
+    [decide policy ~computed ~in_port ~deflected ~ports rng] is the same
+    forwarding decision with the modulo result supplied by the caller
+    (either {!computed_port} or a per-plan residue-table lookup, see
+    [Kar.Route.cached_port]) and the result packed into an immediate int:
+    {!code_port} is the output port (-1 = drop) and {!code_deflected} the
+    packet's updated deflected flag.  The steady-state path (computed port
+    healthy) performs no minor-heap allocation; the deflection draw samples
+    the healthy ports directly off the [ports] array, consuming the PRNG
+    stream draw-for-draw identically to the candidate-list implementation
+    it replaced (seeded traces are unchanged). *)
+val decide :
+  t ->
+  computed:int ->
+  in_port:int ->
+  deflected:bool ->
+  ports:port_state array ->
+  Util.Prng.t ->
+  int
+
+val code_port : int -> int
+val code_deflected : int -> bool
+
 (** [computed_port ~switch_id ~route_id] is the raw modulo result
-    [<R>_s] (which may not name an existing port). *)
+    [<R>_s] (which may not name an existing port), via the remainder-only
+    kernel {!Bignum.Z.rem_int}. *)
 val computed_port : switch_id:int -> route_id:Bignum.Z.t -> int
 
 (** [via_computed policy ~switch_id ~packet ~port] — given that [forward]
@@ -73,3 +102,9 @@ val computed_port : switch_id:int -> route_id:Bignum.Z.t -> int
     the flight recorder to classify decisions offline. *)
 val via_computed :
   t -> switch_id:int -> packet:packet_view -> port:int -> bool
+
+(** [via_computed_port] is {!via_computed} with the modulo result already
+    in hand — the form used next to {!decide}, where the computed port was
+    a cached-table lookup and need not be recomputed. *)
+val via_computed_port :
+  t -> computed:int -> in_port:int -> deflected:bool -> port:int -> bool

@@ -8,6 +8,7 @@ type plan = {
   core_path : Graph.node list;
   protection : (int * int) list;
   bit_length : int;
+  residue_ports : int array;
 }
 
 type error =
@@ -36,6 +37,16 @@ let residue g v port =
   else if port >= id then Error (Port_not_encodable (id, port))
   else Ok { Rns.modulus = id; value = port }
 
+(* The per-plan residue cache: a switch_id-indexed port table (-1 = switch
+   not in the plan), built once per encode/extend.  The data plane then
+   answers <R>_s for every switch in the plan with one array read instead
+   of a bignum reduction. *)
+let residue_ports_of residues =
+  let max_id = List.fold_left (fun m r -> max m r.Rns.modulus) 0 residues in
+  let ports = Array.make (max_id + 1) (-1) in
+  List.iter (fun r -> ports.(r.Rns.modulus) <- r.Rns.value) residues;
+  ports
+
 let encode_plan ~core_path ~protection residues =
   match Rns.encode residues with
   | Error e -> Error (Rns_error e)
@@ -48,6 +59,7 @@ let encode_plan ~core_path ~protection residues =
         core_path;
         protection;
         bit_length = Rns.bit_length_bound modulus;
+        residue_ports = residue_ports_of residues;
       }
 
 let check_no_duplicates residues =
@@ -117,6 +129,29 @@ let protect_exn g plan hops =
   match protect g plan hops with
   | Ok p -> p
   | Error e -> raise_error e
+
+(* Data-plane lookup with the cache guard: the table only answers for the
+   route ID it was built from, so packets re-encoded at an edge (fresh
+   route ID) automatically miss and fall back to the modulo kernel — the
+   cache never needs explicit invalidation beyond plan re-encode.  The
+   physical-equality test catches the common case (packets stamped straight
+   from this plan) in O(1); [Z.equal] covers structurally equal IDs. *)
+let cached_port plan ~route_id ~switch_id =
+  if
+    switch_id >= 0
+    && switch_id < Array.length plan.residue_ports
+    && plan.residue_ports.(switch_id) >= 0
+    && (plan.route_id == route_id || Z.equal plan.route_id route_id)
+  then plan.residue_ports.(switch_id)
+  else Policy.computed_port ~switch_id ~route_id
+
+let residue_table plan =
+  fun switch_id ->
+    if switch_id >= 0
+       && switch_id < Array.length plan.residue_ports
+       && plan.residue_ports.(switch_id) >= 0
+    then plan.residue_ports.(switch_id)
+    else Policy.computed_port ~switch_id ~route_id:plan.route_id
 
 let next_hop plan ~switch_id =
   Policy.computed_port ~switch_id ~route_id:plan.route_id

@@ -15,6 +15,12 @@ type plan = {
   core_path : Topo.Graph.node list; (** primary path, core nodes only *)
   protection : (int * int) list; (** directed hops (switch, next) included *)
   bit_length : int; (** Eq. 9 bound for this plan's modulus *)
+  residue_ports : int array;
+      (** the per-plan residue cache, built once at encode/extend time:
+          [residue_ports.(switch_id)] is the plan's port at that switch, or
+          [-1] when the switch carries no residue.  Rebuilt whenever the
+          plan is re-encoded ({!protect}, [Rns.extend]); read through
+          {!cached_port} on the data plane. *)
 }
 
 type error =
@@ -52,6 +58,19 @@ val protect : Topo.Graph.t -> plan -> (int * int) list -> (plan, error) result
 val of_labels_exn : Topo.Graph.t -> int list -> egress_label:int -> plan
 
 val protect_exn : Topo.Graph.t -> plan -> (int * int) list -> plan
+
+(** [cached_port plan ~route_id ~switch_id] is the data-plane forwarding
+    answer with the residue cache in front of the modulo kernel: when
+    [route_id] is the plan's own ID and [switch_id] carries a residue, one
+    int-array read; otherwise (stray switch, or a packet re-encoded at an
+    edge with a fresh route ID) it falls back to
+    [Policy.computed_port].  Always equal to [<route_id>_switch_id]. *)
+val cached_port : plan -> route_id:Z.t -> switch_id:int -> int
+
+(** [residue_table plan] is the plan's switch-to-port map as a function:
+    the cached port for switches in the plan, the computed [<R>_s] (for the
+    plan's own route ID) otherwise. *)
+val residue_table : plan -> int -> int
 
 (** [next_hop g plan v] is the port switch [v] will compute for this plan's
     route ID ([<R>_s]), whether or not [v] is in the plan — useful for

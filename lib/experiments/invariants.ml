@@ -47,7 +47,9 @@ let run_case ~topology (sc : Topo.Nets.scenario) ~link ~level ~policy ~packets
   in
   let recorder = Trace.Recorder.create ~protected_switches () in
   Netsim.Net.set_recorder net (Some recorder);
-  Netsim.Karnet.install_switches net ~policy ~seed;
+  (* The sweep runs with the residue cache on; the differential test in
+     test_trace re-runs cases with it off and diffs the JSONL. *)
+  Netsim.Karnet.install_switches ~plan net ~policy ~seed;
   let cache = Kar.Controller.create_cache g in
   List.iter
     (fun v ->

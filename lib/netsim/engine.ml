@@ -1,5 +1,3 @@
-type event = { time : float; seq : int; fn : unit -> unit; mutable cancelled : bool }
-
 type t = {
   mutable heap : event array;
   mutable size : int;
@@ -7,6 +5,16 @@ type t = {
   mutable next_seq : int;
   mutable stopped : bool;
   mutable done_count : int;
+  mutable cancelled_in_heap : int;
+}
+
+and event = {
+  time : float;
+  seq : int;
+  fn : unit -> unit;
+  mutable cancelled : bool;
+  mutable queued : bool;
+  owner : t;
 }
 
 let create () =
@@ -17,6 +25,7 @@ let create () =
     next_seq = 0;
     stopped = false;
     done_count = 0;
+    cancelled_in_heap = 0;
   }
 
 let now e = e.clock
@@ -27,6 +36,20 @@ let swap e i j =
   let tmp = e.heap.(i) in
   e.heap.(i) <- e.heap.(j);
   e.heap.(j) <- tmp
+
+let sift_down e start =
+  let i = ref start and continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let first = ref !i in
+    if l < e.size && before e.heap.(l) e.heap.(!first) then first := l;
+    if r < e.size && before e.heap.(r) e.heap.(!first) then first := r;
+    if !first = !i then continue := false
+    else begin
+      swap e !i !first;
+      i := !first
+    end
+  done
 
 let push e ev =
   if e.size = Array.length e.heap then begin
@@ -48,18 +71,9 @@ let pop e =
     let top = e.heap.(0) in
     e.size <- e.size - 1;
     e.heap.(0) <- e.heap.(e.size);
-    let i = ref 0 and continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let first = ref !i in
-      if l < e.size && before e.heap.(l) e.heap.(!first) then first := l;
-      if r < e.size && before e.heap.(r) e.heap.(!first) then first := r;
-      if !first = !i then continue := false
-      else begin
-        swap e !i !first;
-        i := !first
-      end
-    done;
+    sift_down e 0;
+    top.queued <- false;
+    if top.cancelled then e.cancelled_in_heap <- e.cancelled_in_heap - 1;
     Some top
   end
 
@@ -67,7 +81,10 @@ let schedule_at e t f =
   if t < e.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is before now (%g)" t e.clock);
-  let ev = { time = t; seq = e.next_seq; fn = f; cancelled = false } in
+  let ev =
+    { time = t; seq = e.next_seq; fn = f; cancelled = false; queued = true;
+      owner = e }
+  in
   e.next_seq <- e.next_seq + 1;
   push e ev;
   ev
@@ -76,8 +93,40 @@ let schedule_in e dt f =
   if dt < 0.0 then invalid_arg "Engine.schedule_in: negative delay";
   schedule_at e (e.clock +. dt) f
 
+(* Only purge heaps worth the O(n) rebuild; tiny heaps just pop the
+   cancellations out. *)
+let purge_min_size = 64
+
+(* Compact out every cancelled event and re-establish the heap property
+   with a bottom-up Floyd heapify. *)
+let purge e =
+  let live = ref 0 in
+  for i = 0 to e.size - 1 do
+    let ev = e.heap.(i) in
+    if not ev.cancelled then begin
+      e.heap.(!live) <- ev;
+      incr live
+    end
+  done;
+  e.size <- !live;
+  e.cancelled_in_heap <- 0;
+  for i = (e.size / 2) - 1 downto 0 do
+    sift_down e i
+  done
+
 let cancel ev =
-  ev.cancelled <- true
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    if ev.queued then begin
+      let e = ev.owner in
+      e.cancelled_in_heap <- e.cancelled_in_heap + 1;
+      (* Long runs accumulate cancelled retransmit timers that bloat the
+         heap and slow every sift; drop them all once they outnumber the
+         live events. *)
+      if e.size >= purge_min_size && e.cancelled_in_heap > e.size / 2 then
+        purge e
+    end
+  end
 
 let step e =
   match pop e with
@@ -110,11 +159,6 @@ let run_until e t =
 
 let stop e = e.stopped <- true
 
-let pending e =
-  let count = ref 0 in
-  for i = 0 to e.size - 1 do
-    if not e.heap.(i).cancelled then incr count
-  done;
-  !count
+let pending e = e.size - e.cancelled_in_heap
 
 let processed e = e.done_count

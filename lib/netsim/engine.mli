@@ -21,7 +21,9 @@ val schedule_at : t -> float -> (unit -> unit) -> event
 val schedule_in : t -> float -> (unit -> unit) -> event
 
 (** [cancel ev] prevents a pending event from firing (idempotent; events
-    that already ran are unaffected). *)
+    that already ran are unaffected).  Cancelled events are purged from the
+    heap in bulk once they outnumber the live ones, so long runs that
+    cancel many timers (e.g. TCP retransmits) do not bloat the heap. *)
 val cancel : event -> unit
 
 (** [run e] processes events in timestamp order (FIFO among equal
@@ -35,7 +37,8 @@ val run_until : t -> float -> unit
 (** [stop e] makes {!run} return after the current callback. *)
 val stop : t -> unit
 
-(** [pending e] is the number of queued (uncancelled) events. *)
+(** [pending e] is the number of queued (uncancelled) events.  O(1): the
+    engine counts cancellations instead of scanning the heap. *)
 val pending : t -> int
 
 (** [processed e] counts callbacks run so far (for bench reporting). *)

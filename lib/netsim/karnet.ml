@@ -4,40 +4,51 @@ let log_src = Logs.Src.create "kar.switch" ~doc:"KAR switch forwarding decisions
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-let install_switches net ~policy ~seed =
+let install_switches ?plan net ~policy ~seed =
   let master = Util.Prng.of_int seed in
   List.iter
     (fun v ->
       let rng = Util.Prng.split master in
       let switch_id = Graph.label (Net.graph net) v in
+      (* The modulo answer for this switch: a residue-table read when a
+         plan is threaded through (missing automatically for packets whose
+         route ID the table was not built from, e.g. after an edge
+         re-encode), the remainder kernel otherwise.  Resolved once per
+         switch at install time, not per packet. *)
+      let computed_for =
+        match plan with
+        | Some p ->
+          fun route_id -> Kar.Route.cached_port p ~route_id ~switch_id
+        | None -> fun route_id -> Kar.Policy.computed_port ~switch_id ~route_id
+      in
       let handler net _node (packet : Packet.t) ~in_port =
         packet.Packet.hops <- packet.Packet.hops + 1;
         if packet.Packet.hops > Net.ttl net then
           Net.drop ~at:v ~in_port net packet Net.Ttl_exceeded
         else begin
           let ports = Net.port_states net v in
-          let view =
-            {
-              Kar.Policy.route_id = packet.Packet.route_id;
-              in_port;
-              deflected = packet.Packet.deflected;
-            }
+          let was_deflected = packet.Packet.deflected in
+          let c = computed_for packet.Packet.route_id in
+          (* Steady state (computed port healthy, no recorder): everything
+             from here to [Net.send] stays off the minor heap. *)
+          let d =
+            Kar.Policy.decide policy ~computed:c ~in_port
+              ~deflected:was_deflected ~ports rng
           in
-          let decision, deflected =
-            Kar.Policy.forward policy ~switch_id ~ports ~packet:view rng
-          in
+          let port = Kar.Policy.code_port d in
+          let deflected = Kar.Policy.code_deflected d in
           (* Flight recorder: classify the decision (computed forward,
              random deflection, or driven deflection) and tally it.  Only
              entered with a recorder attached, so the default path pays
              nothing beyond the [None] test. *)
-          (match Net.recorder net, decision with
-           | Some r, Kar.Policy.Forward port ->
+          (match Net.recorder net with
+           | Some r when port >= 0 ->
              let action =
                Trace.Event.decision_action
                  ~via_computed:
-                   (Kar.Policy.via_computed policy ~switch_id ~packet:view
-                      ~port)
-                 ~deflected:view.Kar.Policy.deflected
+                   (Kar.Policy.via_computed_port policy ~computed:c ~in_port
+                      ~deflected:was_deflected ~port)
+                 ~deflected:was_deflected
                  ~protected_:(Trace.Recorder.is_protected r switch_id)
                  ~policy:(Kar.Policy.to_string policy)
              in
@@ -53,16 +64,15 @@ let install_switches net ~policy ~seed =
                   ~ttl:(Net.ttl net - packet.Packet.hops)
                   action)
            | _ -> ());
-          if deflected && not packet.Packet.deflected then begin
+          if deflected && not was_deflected then begin
             Net.count_deflection net;
             Log.debug (fun m ->
                 m "SW%d deflected %a (in port %d)" switch_id Packet.pp packet
                   in_port);
             packet.Packet.deflected <- true
           end;
-          match decision with
-          | Kar.Policy.Forward port -> Net.send net ~from_node:v ~port packet
-          | Kar.Policy.Drop -> Net.drop ~at:v ~in_port net packet Net.No_route
+          if port >= 0 then Net.send net ~from_node:v ~port packet
+          else Net.drop ~at:v ~in_port net packet Net.No_route
         end
       in
       Net.set_node_handler net v handler)

@@ -9,12 +9,21 @@
     packet at [Debug]. *)
 val log_src : Logs.src
 
-(** [install_switches net ~policy ~seed] sets the handler of every core
-    node: on arrival the packet's hop count is bumped (TTL enforced), the
-    output port is computed per [policy], and the packet is forwarded or
-    dropped.  The first deflection of each packet is tallied in the net
-    stats. *)
-val install_switches : Net.t -> policy:Kar.Policy.t -> seed:int -> unit
+(** [install_switches net ~policy ?plan ~seed] sets the handler of every
+    core node: on arrival the packet's hop count is bumped (TTL enforced),
+    the output port is computed per [policy], and the packet is forwarded
+    or dropped.  The first deflection of each packet is tallied in the net
+    stats.
+
+    With [?plan], each switch answers the modulo computation through the
+    plan's residue cache ([Kar.Route.cached_port]): an int-array read for
+    packets carrying the plan's route ID, the remainder kernel for any
+    other route ID (e.g. after an edge re-encode) — behaviour is identical
+    either way, byte-for-byte in the flight-recorder trace.  The
+    steady-state forward path (computed port healthy, no recorder
+    attached) performs no minor-heap allocation. *)
+val install_switches :
+  ?plan:Kar.Route.plan -> Net.t -> policy:Kar.Policy.t -> seed:int -> unit
 
 (** What an edge node does with a packet addressed to itself. *)
 type receive = Net.t -> Packet.t -> unit

@@ -9,11 +9,12 @@ type error =
   | Empty_system
   | Modulus_conflict of int
 
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
 let pp_error ppf = function
   | Not_pairwise_coprime (a, b) ->
     Format.fprintf ppf "switch IDs %d and %d are not coprime (gcd %d)" a b
-      (let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
-       gcd a b)
+      (gcd_int a b)
   | Residue_out_of_range { modulus; value } ->
     Format.fprintf ppf "port %d is not representable at switch ID %d (need 0 <= port < id)"
       value modulus
@@ -25,7 +26,6 @@ let pp_error ppf = function
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
-let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
 let coprime a b = gcd_int (abs a) (abs b) = 1
 
 let pairwise_coprime ids =
@@ -125,9 +125,11 @@ let mixed_radix residues =
   | Error _ as e -> e
   | Ok () -> Ok (garner_digits residues)
 
-let port route_id switch_id =
-  if switch_id <= 0 then invalid_arg "Rns.port: switch ID must be positive";
-  Z.to_int_exn (Z.erem route_id (Z.of_int switch_id))
+(* The single validated entry point for the data-plane operation: the
+   [switch_id > 0] check lives in [Z.rem_int] (which every caller funnels
+   through), not in a second guard here. *)
+let port_fast route_id switch_id = Z.rem_int route_id switch_id
+let port = port_fast
 
 let decode route_id ids = List.map (port route_id) ids
 

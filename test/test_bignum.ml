@@ -198,6 +198,46 @@ let prop_string_roundtrip =
   qtest "of_string (to_string a) = a (big)" (gen_big 80) (fun a ->
       Z.equal a (Z.of_string (Z.to_string a)))
 
+(* The remainder-only fast kernel against the full euclidean division it
+   replaces on the data plane: ~1000-bit operands (both signs), moduli
+   across [2, 2^20] — the switch-ID range and beyond. *)
+let prop_rem_int_matches_erem =
+  qtest ~count:1000 "rem_int a s = erem a s (1000-bit)"
+    QCheck2.Gen.(pair (gen_big 300) (2 -- 1_048_576))
+    (fun (a, s) ->
+      Z.rem_int a s = Z.to_int_exn (Z.erem a (Z.of_int s)))
+
+let prop_rem_int_limb_straddle =
+  qtest "rem_int straddling limb counts"
+    QCheck2.Gen.(pair (0 -- 93) (2 -- 1000))
+    (fun (k, s) ->
+      (* 2^k - 1 and 2^k sweep the 0/1/2/3-limb representation boundary
+         that the kernel special-cases. *)
+      let v = Z.pow Z.two k in
+      let pred = Z.sub v Z.one in
+      Z.rem_int v s = Z.to_int_exn (Z.erem v (Z.of_int s))
+      && Z.rem_int pred s = Z.to_int_exn (Z.erem pred (Z.of_int s)))
+
+let test_rem_int_edges () =
+  let big = Z.of_string "123456789012345678901234567890" in
+  Alcotest.(check int) "zero" 0 (Z.rem_int Z.zero 7);
+  Alcotest.(check int) "s = 1" 0 (Z.rem_int big 1);
+  Alcotest.(check int) "negative operand" 5
+    (Z.rem_int (Z.of_int (-23)) 7);
+  Alcotest.(check int) "negative multiple" 0
+    (Z.rem_int (Z.of_int (-21)) 7);
+  (* s >= 2^31 takes the erem fallback rather than the limb fold *)
+  let s_big = (1 lsl 40) + 7 in
+  Alcotest.(check int) "huge modulus fallback"
+    (Z.to_int_exn (Z.erem big (Z.of_int s_big)))
+    (Z.rem_int big s_big);
+  Alcotest.check_raises "zero modulus"
+    (Invalid_argument "Z.rem_int: modulus must be positive") (fun () ->
+      ignore (Z.rem_int big 0));
+  Alcotest.check_raises "negative modulus"
+    (Invalid_argument "Z.rem_int: modulus must be positive") (fun () ->
+      ignore (Z.rem_int big (-3)))
+
 let prop_erem_range =
   qtest "erem in [0, |b|) (big)" big_pair (fun (a, b) ->
       if Z.is_zero b then QCheck2.assume_fail ()
@@ -319,6 +359,7 @@ let () =
           Alcotest.test_case "limb boundaries" `Quick test_limb_boundaries;
           Alcotest.test_case "shift edges" `Quick test_shift_edges;
           Alcotest.test_case "trivial identities" `Quick test_trivial_identities;
+          Alcotest.test_case "rem_int edges" `Quick test_rem_int_edges;
         ] );
       ( "oracle",
         [ prop_add_oracle; prop_mul_oracle; prop_divmod_oracle; prop_compare_oracle ] );
@@ -329,5 +370,6 @@ let () =
           prop_erem_range; prop_gcd_divides; prop_egcd_bezout; prop_invmod;
           prop_shift_is_mul_pow2; prop_bit_length_bound; prop_powmod_matches_pow;
           prop_karatsuba_consistent; nat_canonical;
+          prop_rem_int_matches_erem; prop_rem_int_limb_straddle;
         ] );
     ]

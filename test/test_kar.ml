@@ -206,6 +206,106 @@ let prop_forward_invariants =
                (not ports_arr.(i).Kar.Policy.up) || i = in_port)
              (Array.init degree (fun i -> i))))
 
+(* --- the zero-allocation fast path --- *)
+
+(* [decide] (packed-int code, what the simulator's switches run) must agree
+   decision-for-decision with [forward] (the boxed API Walk uses) — same
+   port, same deflected flag, same PRNG stream consumption. *)
+let prop_decide_matches_forward =
+  qtest ~count:2000 "decide = forward (packed vs boxed)"
+    QCheck2.Gen.(
+      let* degree = 1 -- 8 in
+      let* down_mask = 0 -- ((1 lsl degree) - 1) in
+      let* in_port = 0 -- (degree - 1) in
+      let* route = 0 -- 10_000 in
+      let* policy_idx = 0 -- 3 in
+      let* deflected = bool in
+      let* seed = 0 -- 1_000_000 in
+      pure (degree, down_mask, in_port, route, policy_idx, deflected, seed))
+    (fun (degree, down_mask, in_port, route, policy_idx, deflected, seed) ->
+      let ports_arr =
+        Array.init degree (fun p ->
+            { Kar.Policy.up = down_mask land (1 lsl p) = 0; to_host = false })
+      in
+      let policy = List.nth Kar.Policy.all policy_idx in
+      let route_id = Z.of_int route in
+      let decision, defl =
+        Kar.Policy.forward policy ~switch_id:10007 ~ports:ports_arr
+          ~packet:{ Kar.Policy.route_id; in_port; deflected }
+          (Util.Prng.of_int seed)
+      in
+      let d =
+        Kar.Policy.decide policy
+          ~computed:(Kar.Policy.computed_port ~switch_id:10007 ~route_id)
+          ~in_port ~deflected ~ports:ports_arr (Util.Prng.of_int seed)
+      in
+      (match decision with
+       | Kar.Policy.Forward p -> Kar.Policy.code_port d = p
+       | Kar.Policy.Drop -> Kar.Policy.code_port d = -1)
+      && Kar.Policy.code_deflected d = defl)
+
+let test_residue_cache () =
+  let plan = Kar.Controller.scenario_plan Nets.net15 Kar.Controller.Full in
+  let route_id = plan.Kar.Route.route_id in
+  (* every residue of the plan answers from the table, identically to the
+     remainder kernel *)
+  List.iter
+    (fun r ->
+      let sw = r.Rns.modulus in
+      Alcotest.(check int)
+        (Printf.sprintf "cached port at SW%d" sw)
+        (Kar.Policy.computed_port ~switch_id:sw ~route_id)
+        (Kar.Route.cached_port plan ~route_id ~switch_id:sw);
+      Alcotest.(check int)
+        (Printf.sprintf "residue_table at SW%d" sw)
+        r.Rns.value
+        (Kar.Route.residue_table plan sw))
+    plan.Kar.Route.residues;
+  (* switches outside the plan and foreign route IDs fall back to the
+     kernel *)
+  Alcotest.(check int) "unplanned switch" (Kar.Policy.computed_port ~switch_id:23 ~route_id)
+    (Kar.Route.cached_port plan ~route_id ~switch_id:23);
+  let other = Z.of_int 44 in
+  List.iter
+    (fun r ->
+      let sw = r.Rns.modulus in
+      Alcotest.(check int)
+        (Printf.sprintf "re-encoded packet at SW%d" sw)
+        (Kar.Policy.computed_port ~switch_id:sw ~route_id:other)
+        (Kar.Route.cached_port plan ~route_id:other ~switch_id:sw))
+    plan.Kar.Route.residues
+
+(* The acceptance bar of the fast-path work: a steady-state forwarding
+   decision (cache lookup + NIP decide, healthy computed port) touches the
+   minor heap not at all.  [Gc.minor_words] itself boxes its float result,
+   so allow a small constant slack rather than demanding an exact zero. *)
+let test_forward_zero_alloc () =
+  let plan = Kar.Controller.scenario_plan Nets.net15 Kar.Controller.Full in
+  let route_id = plan.Kar.Route.route_id in
+  let ports_arr = ports 4 in
+  let r = rng () in
+  (* warm up: fault in closures/tables before counting *)
+  for _ = 1 to 100 do
+    let c = Kar.Route.cached_port plan ~route_id ~switch_id:13 in
+    ignore
+      (Sys.opaque_identity
+         (Kar.Policy.decide Kar.Policy.Not_input_port ~computed:c ~in_port:0
+            ~deflected:false ~ports:ports_arr r))
+  done;
+  let iters = 100_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    let c = Kar.Route.cached_port plan ~route_id ~switch_id:13 in
+    ignore
+      (Sys.opaque_identity
+         (Kar.Policy.decide Kar.Policy.Not_input_port ~computed:c ~in_port:0
+            ~deflected:false ~ports:ports_arr r))
+  done;
+  let delta = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f minor words over %d decisions" delta iters)
+    true (delta <= 256.0)
+
 (* --- Route encoding --- *)
 
 let test_route_fig1 () =
@@ -754,6 +854,13 @@ let () =
           Alcotest.test_case "policy names roundtrip" `Quick test_policy_string_roundtrip;
           Alcotest.test_case "deflection uniformity" `Quick test_deflection_uniformity;
           prop_forward_invariants;
+        ] );
+      ( "fastpath",
+        [
+          prop_decide_matches_forward;
+          Alcotest.test_case "residue cache" `Quick test_residue_cache;
+          Alcotest.test_case "steady-state zero allocation" `Quick
+            test_forward_zero_alloc;
         ] );
       ( "route",
         [

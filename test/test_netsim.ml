@@ -69,6 +69,64 @@ let test_engine_run_until () =
   Engine.run e;
   Alcotest.(check int) "all fired" 10 !count
 
+(* Lazy purge of cancelled events: schedule many timers, cancel most
+   (past the half-the-heap threshold that triggers compaction), and check
+   that ordering, [pending], and the survivors are unaffected. *)
+let test_engine_purge_keeps_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let events =
+    List.init 500 (fun i ->
+        let t = float_of_int (i + 1) in
+        (i, Engine.schedule_at e t (fun () -> log := i :: !log)))
+  in
+  (* cancel everything not divisible by 10: 450 of 500, well past the
+     purge threshold *)
+  List.iter (fun (i, ev) -> if i mod 10 <> 0 then Engine.cancel ev) events;
+  Alcotest.(check int) "pending counts survivors only" 50 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check (list int))
+    "survivors fire in time order"
+    (List.init 50 (fun k -> k * 10))
+    (List.rev !log)
+
+let test_engine_cancel_idempotent_and_late () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let ev = Engine.schedule_at e 1.0 (fun () -> incr fired) in
+  (* double cancel must not unbalance the cancellation counter *)
+  Engine.cancel ev;
+  Engine.cancel ev;
+  Alcotest.(check int) "pending after double cancel" 0 (Engine.pending e);
+  let ev2 = Engine.schedule_at e 2.0 (fun () -> incr fired) in
+  Engine.run e;
+  Alcotest.(check int) "only the live event fired" 1 !fired;
+  (* cancelling after the event ran is a no-op *)
+  Engine.cancel ev2;
+  Alcotest.(check int) "pending after late cancel" 0 (Engine.pending e)
+
+let test_engine_pending_after_purge_mixed () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  (* interleave cancellations with fresh schedules so purges happen while
+     the heap still holds live events at many depths *)
+  let pending_expected = ref 0 in
+  for round = 0 to 9 do
+    let evs =
+      List.init 100 (fun i ->
+          Engine.schedule_at e
+            (float_of_int ((round * 100) + i + 1))
+            (fun () -> incr count))
+    in
+    List.iteri (fun i ev -> if i mod 4 <> 0 then Engine.cancel ev else incr pending_expected) evs;
+    Alcotest.(check int)
+      (Printf.sprintf "pending after round %d" round)
+      !pending_expected (Engine.pending e)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all survivors ran" !pending_expected !count;
+  Alcotest.(check int) "nothing pending" 0 (Engine.pending e)
+
 let test_engine_stop () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -368,6 +426,11 @@ let () =
           Alcotest.test_case "past events rejected" `Quick test_engine_past_rejected;
           Alcotest.test_case "run_until" `Quick test_engine_run_until;
           Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "purge keeps order" `Quick test_engine_purge_keeps_order;
+          Alcotest.test_case "cancel idempotent and late" `Quick
+            test_engine_cancel_idempotent_and_late;
+          Alcotest.test_case "pending across purges" `Quick
+            test_engine_pending_after_purge_mixed;
         ] );
       ( "links",
         [

@@ -205,7 +205,8 @@ let test_truncated_suffix () =
 
 (* --- Traced netsim runs --- *)
 
-let traced_run (sc : Nets.scenario) ~link ~level ~policy ~packets ~seed =
+let traced_run ?(cache = false) (sc : Nets.scenario) ~link ~level ~policy
+    ~packets ~seed =
   let g = sc.Nets.graph in
   let engine = Netsim.Engine.create () in
   let net = Netsim.Net.create ~graph:g ~engine () in
@@ -217,7 +218,9 @@ let traced_run (sc : Nets.scenario) ~link ~level ~policy ~packets ~seed =
       ()
   in
   Netsim.Net.set_recorder net (Some recorder);
-  Netsim.Karnet.install_switches net ~policy ~seed;
+  Netsim.Karnet.install_switches
+    ?plan:(if cache then Some plan else None)
+    net ~policy ~seed;
   let cache = Kar.Controller.create_cache g in
   List.iter
     (fun v ->
@@ -291,6 +294,36 @@ let test_invariant_sweep () =
              c.Experiments.Invariants.topology c.Experiments.Invariants.failure)
           c.Experiments.Invariants.packets c.Experiments.Invariants.delivered)
     cases
+
+(* The residue cache must be a pure acceleration: with the cache on
+   ([?plan] threaded into the switches) and off, every single-core-link
+   failure on net15 and rnp28 must produce the identical flight-recorder
+   trace, byte for byte in JSONL form. *)
+let test_residue_cache_differential () =
+  let core_links g =
+    List.filter
+      (fun id ->
+        let l = Graph.link g id in
+        Graph.is_core g l.Graph.ep0.Graph.node
+        && Graph.is_core g l.Graph.ep1.Graph.node)
+      (List.init (Graph.n_links g) Fun.id)
+  in
+  List.iter
+    (fun (name, sc) ->
+      List.iter
+        (fun link ->
+          let jsonl cache =
+            let _, recorder =
+              traced_run ~cache sc ~link ~level:Kar.Controller.Full
+                ~policy:Kar.Policy.Not_input_port ~packets:3 ~seed:11
+            in
+            List.map Event.to_jsonl (Recorder.contents recorder)
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s link %d: cache on = cache off" name link)
+            (jsonl false) (jsonl true))
+        (core_links sc.Nets.graph))
+    [ ("net15", Nets.net15); ("rnp28", Nets.rnp28) ]
 
 (* --- Golden fixtures --- *)
 
@@ -473,6 +506,8 @@ let () =
           Alcotest.test_case "traced karnet run" `Quick test_karnet_traced_run;
           Alcotest.test_case "sweep: all failures, all policies" `Quick
             test_invariant_sweep;
+          Alcotest.test_case "residue cache on/off: identical traces" `Quick
+            test_residue_cache_differential;
         ] );
       ( "fixtures",
         [ Alcotest.test_case "replay and diff" `Quick test_fixture_replay ] );
