@@ -255,6 +255,57 @@ let forward_minor_words_per_packet ~iters =
   let w1 = Gc.minor_words () in
   (w1 -. w0) /. float_of_int iters
 
+(* --- domain-pool benchmarks ---
+
+   [pool/map-overhead-ns] is the dispatch cost per (trivial) task on a
+   4-job pool — the floor under which parallelising a sweep cannot pay.
+   [pool/table2-sweep-jN-ms] times the Table 2 double-failure sweep (one
+   exact chain analysis per connected link pair, ~30 us each) on pools of
+   1/2/4/8 jobs; [pool/table2-speedup-j4] is the j1/j4 ratio — the number
+   the CI gate watches on multicore hosts.  [pool/cores] records the
+   host's recommended domain count so the gate can tell "parallel path
+   broken" apart from "host has no cores to parallelise over". *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let pool_map_overhead_ns () =
+  let p = Util.Pool.create ~jobs:4 in
+  let arr = Array.init 512 (fun i -> i) in
+  let one () = ignore (Util.Pool.map p arr ~f:(fun ~idx:_ x -> x)) in
+  one () (* warm: domains parked on the condition variable *);
+  let reps = 50 in
+  let s = wall (fun () -> for _ = 1 to reps do one () done) in
+  Util.Pool.shutdown p;
+  s /. float_of_int (reps * Array.length arr) *. 1e9
+
+let table2_sweep_ms ~jobs =
+  let p = Util.Pool.create ~jobs in
+  let one () = ignore (Experiments.Table2.measure ~pool:p ()) in
+  one () (* warm *);
+  let reps = 25 in
+  let s = wall (fun () -> for _ = 1 to reps do one () done) in
+  Util.Pool.shutdown p;
+  s /. float_of_int reps *. 1e3
+
+let pool_entries () =
+  let overhead = pool_map_overhead_ns () in
+  let j1 = table2_sweep_ms ~jobs:1 in
+  let j2 = table2_sweep_ms ~jobs:2 in
+  let j4 = table2_sweep_ms ~jobs:4 in
+  let j8 = table2_sweep_ms ~jobs:8 in
+  [
+    ("pool/cores", float_of_int (Domain.recommended_domain_count ()));
+    ("pool/map-overhead-ns", overhead);
+    ("pool/table2-sweep-j1-ms", j1);
+    ("pool/table2-sweep-j2-ms", j2);
+    ("pool/table2-sweep-j4-ms", j4);
+    ("pool/table2-sweep-j8-ms", j8);
+    ("pool/table2-speedup-j4", j1 /. j4);
+  ]
+
 (* --- machine-readable output (a flat {"key": number} JSON object) --- *)
 
 let json_escape name =
@@ -335,14 +386,34 @@ let parse_json file =
 
 let higher_is_better key = key = "netsim/packets-per-sec"
 
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
 (* Keys whose scale is not a kernel latency: excluded from the regression
    gate (throughput is checked in the other direction; the allocation
-   counter is asserted exactly by the test suite). *)
+   counter is asserted exactly by the test suite; pool wall-clocks are
+   machine-shape numbers checked via the speedup ratio instead). *)
 let check_entry (key, baseline) fresh =
   match List.assoc_opt key fresh with
   | None -> None (* kernel renamed/removed: not a regression *)
   | Some now ->
     if key = "gc/forward-minor-words-per-packet" then None
+    else if key = "pool/table2-speedup-j4" then
+      (* The parallel-path gate: on a host with >= 4 cores, the sweep must
+         still actually go parallel.  The floor is 2x (not the ~3.5x a
+         healthy pool shows) so CI noise can't trip it; a serialised pool
+         measures ~1x and fails.  Skipped on narrow hosts, where there is
+         nothing to parallelise over. *)
+      (match List.assoc_opt "pool/cores" fresh with
+       | Some cores when cores >= 4.0 && now < 2.0 ->
+         Some
+           (Printf.sprintf
+              "%s: %.2fx (< 2x on a %.0f-core host; parallel sweep path \
+               no longer scales)"
+              key now cores)
+       | _ -> None)
+    else if starts_with ~prefix:"pool/" key then None
     else if higher_is_better key then
       if baseline > 0.0 && now < baseline /. regression_factor then
         Some
@@ -364,10 +435,14 @@ let measure_all ~quota ~packets =
   let pps = netsim_packets_per_sec ~packets in
   let words = forward_minor_words_per_packet ~iters:100_000 in
   Printf.printf "netsim end-to-end: %.0f packets/s\n" pps;
-  Printf.printf "steady-state forward path: %.3f minor words/packet\n\n" words;
+  Printf.printf "steady-state forward path: %.3f minor words/packet\n" words;
+  let pool = pool_entries () in
+  List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) pool;
+  print_newline ();
   kernels
   @ [ ("netsim/packets-per-sec", pps);
       ("gc/forward-minor-words-per-packet", words) ]
+  @ pool
 
 let run_experiments () =
   let profile = Experiments.Profile.from_env () in
@@ -409,9 +484,13 @@ let () =
     | "--quota" :: q :: rest ->
       quota := float_of_string q;
       parse rest
+    | ("-j" | "--jobs") :: j :: rest ->
+      Util.Pool.set_jobs (int_of_string j);
+      parse rest
     | arg :: _ ->
       Printf.eprintf
-        "usage: bench [--json FILE] [--check BASELINE] [--quota SECONDS]\n\
+        "usage: bench [--json FILE] [--check BASELINE] [--quota SECONDS] \
+         [-j JOBS]\n\
          unknown argument: %s\n"
         arg;
       exit 2

@@ -45,10 +45,37 @@ let experiments : (string * string * (Experiments.Profile.t -> string)) list =
      fun _ -> Experiments.Invariants.to_string ());
   ]
 
+(* Classic two-row Levenshtein, for suggesting the closest experiment id
+   on a typo. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) (fun j -> j) in
+  let curr = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    curr.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit curr 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let nearest_experiment name =
+  List.fold_left
+    (fun (best, d) (candidate, _, _) ->
+      let d' = edit_distance name candidate in
+      if d' < d then (candidate, d') else (best, d))
+    ("", max_int) experiments
+
 let run_one profile name =
   match List.find_opt (fun (n, _, _) -> n = name) experiments with
   | None ->
-    Printf.eprintf "unknown experiment %S; try --list\n" name;
+    let nearest, d = nearest_experiment name in
+    if d <= max 2 (String.length name / 2) then
+      Printf.eprintf "unknown experiment %S; did you mean %S? (--list shows all ids)\n"
+        name nearest
+    else Printf.eprintf "unknown experiment %S; --list shows all ids\n" name;
     exit 1
   | Some (_, _, f) ->
     print_string (f profile);
@@ -71,6 +98,15 @@ let paper_flag =
   in
   Arg.(value & flag & info [ "paper" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel sweeps (replications, failure pairs, \
+     generated graphs).  Output is byte-identical at any value.  Defaults \
+     to $(b,KAR_JOBS) if set, else the machine's recommended domain count \
+     (capped at 16)."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 (* KAR_LOG=info|debug turns on the simulator's log sources (stderr). *)
 let setup_logging () =
   match Sys.getenv_opt "KAR_LOG" with
@@ -85,11 +121,12 @@ let setup_logging () =
     Logs.set_level level
   | None -> ()
 
-let main names list paper =
+let main names list paper jobs =
   setup_logging ();
   if list then
     List.iter (fun (n, d, _) -> Printf.printf "%-10s %s\n" n d) experiments
   else begin
+    Util.Pool.set_jobs (if jobs > 0 then jobs else Util.Pool.default_jobs ());
     let profile =
       if paper then Experiments.Profile.paper else Experiments.Profile.from_env ()
     in
@@ -100,6 +137,6 @@ let main names list paper =
 let cmd =
   let doc = "Regenerate the KAR paper's tables and figures" in
   let info = Cmd.info "kar_experiments" ~doc in
-  Cmd.v info Term.(const main $ names_arg $ list_flag $ paper_flag)
+  Cmd.v info Term.(const main $ names_arg $ list_flag $ paper_flag $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -7,46 +7,49 @@ let policy_hops_table () =
       ("rnp28", Nets.rnp28, Kar.Controller.Partial);
       ("fig8", Nets.rnp_fig8, Kar.Controller.Partial) ]
   in
-  let rows = ref [] in
-  List.iter
-    (fun (name, sc, level) ->
-      let plan = Kar.Controller.scenario_plan sc level in
-      List.iter
-        (fun fc ->
-          List.iter
-            (fun policy ->
-              let a =
-                Kar.Markov.analyze sc.Nets.graph ~plan ~policy
-                  ~failed:[ fc.Nets.link ] ~src:sc.Nets.ingress
-                  ~dst:sc.Nets.egress
-              in
-              let mc =
-                Kar.Walk.run sc.Nets.graph ~plan ~policy ~failed:[ fc.Nets.link ]
-                  ~src:sc.Nets.ingress ~dst:sc.Nets.egress ~trials:5000 ~seed:3 ()
-              in
-              rows :=
-                [
-                  name;
-                  fc.Nets.name;
-                  Kar.Policy.to_string policy;
-                  Printf.sprintf "%.4f" a.Kar.Markov.p_delivered;
-                  Printf.sprintf "%.4f" a.Kar.Markov.p_stranded;
-                  (if Float.is_nan a.Kar.Markov.expected_hops_delivered then "-"
-                   else Printf.sprintf "%.2f" a.Kar.Markov.expected_hops_delivered);
-                  Printf.sprintf "%.4f" mc.Kar.Walk.p_delivery;
-                  (if Float.is_nan mc.Kar.Walk.mean_hops then "-"
-                   else Printf.sprintf "%.2f" mc.Kar.Walk.mean_hops);
-                ]
-                :: !rows)
-            Kar.Policy.all)
-        sc.Nets.failures)
-    cases;
+  (* Plans are encoded once per scenario (serial, shared immutably); the
+     (scenario, failure, policy) cells then run one pool task each.  The
+     Monte-Carlo walk is seeded per cell, so rows are order-independent. *)
+  let units =
+    List.concat_map
+      (fun (name, sc, level) ->
+        let plan = Kar.Controller.scenario_plan sc level in
+        List.concat_map
+          (fun fc ->
+            List.map (fun policy -> (name, sc, plan, fc, policy)) Kar.Policy.all)
+          sc.Nets.failures)
+      cases
+    |> Array.of_list
+  in
+  let rows =
+    Util.Pool.run units ~f:(fun ~idx:_ (name, sc, plan, fc, policy) ->
+        let a =
+          Kar.Markov.analyze sc.Nets.graph ~plan ~policy
+            ~failed:[ fc.Nets.link ] ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+        in
+        let mc =
+          Kar.Walk.run sc.Nets.graph ~plan ~policy ~failed:[ fc.Nets.link ]
+            ~src:sc.Nets.ingress ~dst:sc.Nets.egress ~trials:5000 ~seed:3 ()
+        in
+        [
+          name;
+          fc.Nets.name;
+          Kar.Policy.to_string policy;
+          Printf.sprintf "%.4f" a.Kar.Markov.p_delivered;
+          Printf.sprintf "%.4f" a.Kar.Markov.p_stranded;
+          (if Float.is_nan a.Kar.Markov.expected_hops_delivered then "-"
+           else Printf.sprintf "%.2f" a.Kar.Markov.expected_hops_delivered);
+          Printf.sprintf "%.4f" mc.Kar.Walk.p_delivery;
+          (if Float.is_nan mc.Kar.Walk.mean_hops then "-"
+           else Printf.sprintf "%.2f" mc.Kar.Walk.mean_hops);
+        ])
+  in
   "Ablation: exact vs Monte-Carlo deflection-walk metrics per policy\n"
   ^ Util.Texttab.render
       ~header:
         [ "Net"; "Failure"; "Policy"; "P(del)"; "P(strand)"; "E[hops|del]";
           "MC P(del)"; "MC hops" ]
-      (List.rev !rows)
+      (Array.to_list rows)
 
 let ids_table () =
   let topologies =
@@ -61,24 +64,26 @@ let ids_table () =
     [ Kar.Ids.Primes_ascending; Kar.Ids.Degree_descending; Kar.Ids.Prime_powers;
       Kar.Ids.Random_primes 17 ]
   in
-  let rows =
+  let units =
     List.concat_map
-      (fun (name, g) ->
-        List.map
-          (fun strategy ->
-            let relabeled = Kar.Ids.assign g strategy in
-            let issues = Kar.Ids.validate relabeled in
-            [
-              name;
-              Kar.Ids.strategy_to_string strategy;
-              Printf.sprintf "%.1f" (Kar.Ids.mean_route_bits relabeled ~trials:200 ~seed:1);
-              Printf.sprintf "%d"
-                (List.fold_left max 0
-                   (List.map (Graph.label relabeled) (Graph.core_nodes relabeled)));
-              (if issues = [] then "ok" else String.concat "; " issues);
-            ])
-          strategies)
+      (fun (name, g) -> List.map (fun strategy -> (name, g, strategy)) strategies)
       topologies
+    |> Array.of_list
+  in
+  let rows =
+    Util.Pool.run units ~f:(fun ~idx:_ (name, g, strategy) ->
+        let relabeled = Kar.Ids.assign g strategy in
+        let issues = Kar.Ids.validate relabeled in
+        [
+          name;
+          Kar.Ids.strategy_to_string strategy;
+          Printf.sprintf "%.1f" (Kar.Ids.mean_route_bits relabeled ~trials:200 ~seed:1);
+          Printf.sprintf "%d"
+            (List.fold_left max 0
+               (List.map (Graph.label relabeled) (Graph.core_nodes relabeled)));
+          (if issues = [] then "ok" else String.concat "; " issues);
+        ])
+    |> Array.to_list
   in
   "Ablation: switch-ID assignment strategy vs route-ID bit growth\n"
   ^ Util.Texttab.render
@@ -97,8 +102,8 @@ let budget_table () =
       ~radius:max_int
   in
   let rows =
-    List.map
-      (fun bits ->
+    Util.Pool.run [| 15; 20; 28; 36; 43; 52; 64; 96; 128 |]
+      ~f:(fun ~idx:_ bits ->
         let plan, chosen =
           Kar.Protection.select_within_budget g ~plan:base ~dest ~members ~bits
         in
@@ -114,7 +119,7 @@ let budget_table () =
           (if Float.is_nan a.Kar.Markov.expected_hops_delivered then "-"
            else Printf.sprintf "%.2f" a.Kar.Markov.expected_hops_delivered);
         ])
-      [ 15; 20; 28; 36; 43; 52; 64; 96; 128 ]
+    |> Array.to_list
   in
   "Ablation: protection bit budget vs exact delivery (net15, SW13-SW29 down, NIP)\n"
   ^ Util.Texttab.render
@@ -141,8 +146,7 @@ let planner_table () =
       ~objective:Kar.Optimizer.Worst_delivery
   in
   let rows =
-    List.map
-      (fun bits ->
+    Util.Pool.run [| 20; 28; 43; 64 |] ~f:(fun ~idx:_ bits ->
         let naive_plan, naive_hops =
           Kar.Protection.select_within_budget g ~plan:base ~dest ~members ~bits
         in
@@ -159,7 +163,7 @@ let planner_table () =
             (List.length optimized.Kar.Optimizer.steps)
             optimized.Kar.Optimizer.plan.Kar.Route.bit_length;
         ])
-      [ 20; 28; 43; 64 ]
+    |> Array.to_list
   in
   "Ablation: protection placement — distance-ordered greedy vs "
   ^ "exact-analysis guided (net15, worst-case delivery over all three "
@@ -192,18 +196,23 @@ let cc_table ?(profile = Profile.from_env ()) () =
     in
     r.Workload.Runner.mean_fail
   in
-  let rows =
+  let units =
     List.concat_map
       (fun policy ->
         List.map
-          (fun (cc_name, cc) ->
-            [
-              Kar.Policy.to_string policy;
-              cc_name;
-              Printf.sprintf "%.1f" (run policy cc);
-            ])
+          (fun (cc_name, cc) -> (policy, cc_name, cc))
           [ ("Reno", Tcp.Flow.Reno); ("CUBIC", Tcp.Flow.Cubic) ])
       [ Kar.Policy.Not_input_port; Kar.Policy.Any_valid_port; Kar.Policy.Hot_potato ]
+    |> Array.of_list
+  in
+  let rows =
+    Util.Pool.run units ~f:(fun ~idx:_ (policy, cc_name, cc) ->
+        [
+          Kar.Policy.to_string policy;
+          cc_name;
+          Printf.sprintf "%.1f" (run policy cc);
+        ])
+    |> Array.to_list
   in
   "Ablation: congestion control vs deflection policy (net15, SW7-SW13 "
   ^ "failure; goodput during the failure window, Mb/s)\n"
@@ -216,8 +225,7 @@ let delivery_table ?(profile = Profile.from_env ()) () =
   let sc = Nets.net15 in
   let fc = List.nth sc.Nets.failures 1 in
   let rows =
-    List.map
-      (fun policy ->
+    Util.Pool.run (Array.of_list Kar.Policy.all) ~f:(fun ~idx:_ policy ->
         let r =
           Workload.Cbr.run sc ~policy ~level:Kar.Controller.Full ~rate_pps:12000
             ~duration_s:profile.Profile.cbr_duration_s ~failure:fc ~seed:23 ()
@@ -235,7 +243,7 @@ let delivery_table ?(profile = Profile.from_env ()) () =
           Printf.sprintf "%.2f%%" (100.0 *. m.Netsim.Reorder.reordered_fraction);
           string_of_int m.Netsim.Reorder.buffer_packets;
         ])
-      Kar.Policy.all
+    |> Array.to_list
   in
   "Ablation: UDP delivery and network reordering during SW7-SW13 failure \
    (net15, full protection)\n"

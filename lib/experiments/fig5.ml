@@ -11,33 +11,41 @@ let paper_note =
    SW7-SW13 and SW13-SW29 but loses ~1/3 of packets' goodput at SW10-SW7 \
    (only one of SW10's three alternatives is protected)."
 
+(* Every (failure, protection, technique) cell is an independent sweep
+   unit: enumerate them up front, fan out on the domain pool, and keep
+   the original enumeration order in the result.  Each unit's reps are
+   seeded by rep index inside [iperf_reps], so the rendered figure is
+   byte-identical at any [-j]. *)
 let run ?(profile = Profile.from_env ()) () =
   let sc = Topo.Nets.net15 in
-  let points = ref [] in
-  List.iter
-    (fun fc ->
-      List.iter
-        (fun level ->
-          List.iter
-            (fun policy ->
-              let config =
-                {
-                  Workload.Runner.default_iperf with
-                  policy = Workload.Runner.Kar policy;
-                  level;
-                  failure = Some fc;
-                  reps = profile.Profile.iperf_reps;
-                  rep_duration_s = profile.Profile.iperf_duration_s;
-                }
-              in
-              let goodput = Workload.Runner.iperf_reps sc config in
-              points :=
-                { failure = fc.Topo.Nets.name; level; policy; goodput }
-                :: !points)
-            [ Kar.Policy.Any_valid_port; Kar.Policy.Not_input_port ])
-        Kar.Controller.all_levels)
-    sc.Topo.Nets.failures;
-  List.rev !points
+  let cases =
+    List.concat_map
+      (fun fc ->
+        List.concat_map
+          (fun level ->
+            List.map
+              (fun policy -> (fc, level, policy))
+              [ Kar.Policy.Any_valid_port; Kar.Policy.Not_input_port ])
+          Kar.Controller.all_levels)
+      sc.Topo.Nets.failures
+    |> Array.of_list
+  in
+  let points =
+    Util.Pool.run cases ~f:(fun ~idx:_ (fc, level, policy) ->
+        let config =
+          {
+            Workload.Runner.default_iperf with
+            policy = Workload.Runner.Kar policy;
+            level;
+            failure = Some fc;
+            reps = profile.Profile.iperf_reps;
+            rep_duration_s = profile.Profile.iperf_duration_s;
+          }
+        in
+        let goodput = Workload.Runner.iperf_reps sc config in
+        { failure = fc.Topo.Nets.name; level; policy; goodput })
+  in
+  Array.to_list points
 
 let to_string ?(profile = Profile.from_env ()) () =
   let points = run ~profile () in

@@ -33,51 +33,61 @@ let run ?(samples = 60) ?(seed = 2718) () =
   let rng = Util.Prng.of_int seed in
   List.map
     (fun k ->
-      let collected = ref [] in
-      let direct = ref [] in
-      let ff_ok = ref 0 in
-      let attempts = ref 0 in
-      while List.length !collected < samples && !attempts < samples * 20 do
-        incr attempts;
-        let failed = sample_subset rng pool k in
+      (* Give every attempt its own stream, split from the parent before
+         any work is dispatched: which failure sets get analyzed depends
+         only on (seed, k, attempt index), never on scheduling.  The
+         cheap part — drawing subsets and filtering for connectivity —
+         stays serial; the exact analyses fan out on the domain pool. *)
+      let max_attempts = samples * 20 in
+      let attempt_rngs = Util.Prng.split_n rng max_attempts in
+      let chosen = ref [] in
+      let count = ref 0 in
+      let attempt = ref 0 in
+      while !count < samples && !attempt < max_attempts do
+        let failed = sample_subset attempt_rngs.(!attempt) pool k in
+        incr attempt;
         let usable l = not (List.mem l.Graph.id failed) in
-        let connected =
+        if
           Topo.Paths.shortest_path g ~usable sc.Nets.ingress sc.Nets.egress
           <> None
-        in
-        if connected then begin
-          let a =
-            Kar.Markov.analyze g ~plan ~policy:Kar.Policy.Not_input_port
-              ~failed ~src:sc.Nets.ingress ~dst:sc.Nets.egress
-          in
-          (* stranded packets are re-encoded by the edge: count them as
-             eventually delivered, as the design intends *)
-          let delivery = a.Kar.Markov.p_delivered +. a.Kar.Markov.p_stranded in
-          collected := delivery :: !collected;
-          direct := a.Kar.Markov.p_delivered :: !direct;
-          match
-            Baselines.Fast_failover.hops_between g sc.Nets.ingress
-              sc.Nets.egress ~failed
-          with
-          | Some _ -> incr ff_ok
-          | None -> ()
+        then begin
+          chosen := failed :: !chosen;
+          incr count
         end
       done;
-      let deliveries = !collected in
-      let n = List.length deliveries in
+      let sets = Array.of_list (List.rev !chosen) in
+      let evals =
+        Util.Pool.run sets ~f:(fun ~idx:_ failed ->
+            let a =
+              Kar.Markov.analyze g ~plan ~policy:Kar.Policy.Not_input_port
+                ~failed ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+            in
+            (* stranded packets are re-encoded by the edge: count them as
+               eventually delivered, as the design intends *)
+            let ff =
+              Baselines.Fast_failover.hops_between g sc.Nets.ingress
+                sc.Nets.egress ~failed
+              <> None
+            in
+            ( a.Kar.Markov.p_delivered +. a.Kar.Markov.p_stranded,
+              a.Kar.Markov.p_delivered,
+              ff ))
+      in
+      let n = Array.length evals in
+      let sum f = Array.fold_left (fun acc e -> acc +. f e) 0.0 evals in
+      let count p = Array.fold_left (fun acc e -> if p e then acc + 1 else acc) 0 evals in
+      let delivery (d, _, _) = d in
       {
         k;
         samples = n;
         kar_mean_delivery =
-          (if n = 0 then nan
-           else List.fold_left ( +. ) 0.0 deliveries /. float_of_int n);
-        kar_min_delivery = List.fold_left Stdlib.min 1.0 deliveries;
+          (if n = 0 then nan else sum delivery /. float_of_int n);
+        kar_min_delivery =
+          Array.fold_left (fun m e -> Stdlib.min m (delivery e)) 1.0 evals;
         kar_mean_direct =
-          (if n = 0 then nan
-           else List.fold_left ( +. ) 0.0 !direct /. float_of_int n);
-        kar_guaranteed =
-          List.length (List.filter (fun d -> d >= 0.999999) deliveries);
-        ff_survives = !ff_ok;
+          (if n = 0 then nan else sum (fun (_, d, _) -> d) /. float_of_int n);
+        kar_guaranteed = count (fun e -> delivery e >= 0.999999);
+        ff_survives = count (fun (_, _, ff) -> ff);
       })
     [ 1; 2; 3; 4; 5 ]
 

@@ -58,9 +58,10 @@ let plan_bits g ~src ~dst ~members =
   in
   (plan.Kar.Route.bit_length, protected_plan.Kar.Route.bit_length)
 
+(* Each network size is an independent unit (its own generated graph,
+   seeded by [n]), so the sizes sweep in parallel on the domain pool. *)
 let run () =
-  List.map
-    (fun n ->
+  Util.Pool.run [| 16; 32; 64; 128; 256 |] ~f:(fun ~idx:_ n ->
       let g, src, dst, diameter = scenario_for n in
       let radius1 path = Kar.Protection.off_path_members g ~path ~radius:1 in
       let full path = Kar.Protection.full_members g ~path in
@@ -74,7 +75,7 @@ let run () =
         bits_full;
         fits_header = bits_full <= Wire.Header.max_route_bits;
       })
-    [ 16; 32; 64; 128; 256 ]
+  |> Array.to_list
 
 let to_string () =
   let rows = run () in
@@ -103,8 +104,7 @@ let to_string () =
 
 let multipath_to_string () =
   let rows =
-    List.map
-      (fun n ->
+    Util.Pool.run [| 16; 32; 64; 128 |] ~f:(fun ~idx:_ n ->
         let g, src, dst, _ = scenario_for n in
         let plans = Kar.Controller.disjoint_plans g ~src ~dst ~k:3 in
         let bits = List.map (fun p -> p.Kar.Route.bit_length) plans in
@@ -117,7 +117,7 @@ let multipath_to_string () =
           string_of_int (List.fold_left ( + ) 0 bits);
           string_of_int protected_bits;
         ])
-      [ 16; 32; 64; 128 ]
+    |> Array.to_list
   in
   "Multipath vs driven deflection: header cost of k disjoint route IDs \
    (future work)\n"

@@ -33,7 +33,12 @@ type evidence = {
    when the exact chain analysis leaves no probability mass on drops or
    loops — stranded packets are re-encoded by edges, which is part of the
    KAR design. *)
-let measure () =
+(* Every link pair is an independent exact analysis against the shared
+   (immutable) plan, so the sweep fans out on the domain pool: enumerate
+   the pairs, evaluate each on its own task, fold the counts back in
+   enumeration order.  [pool] lets the bench harness time the sweep at a
+   specific parallelism; experiments use the shared pool. *)
+let measure ?pool () =
   let sc = Topo.Nets.net15 in
   let g = sc.Topo.Nets.graph in
   let plan = Kar.Controller.scenario_plan sc Kar.Controller.Full in
@@ -44,48 +49,62 @@ let measure () =
         && Topo.Graph.is_core g l.Topo.Graph.ep1.Topo.Graph.node)
       (Topo.Graph.links g)
     |> List.map (fun l -> l.Topo.Graph.id)
+    |> Array.of_list
   in
-  let pairs = ref 0 and kar_ok = ref 0 and ff_ok = ref 0 in
-  let rec sweep = function
-    | [] -> ()
-    | a :: rest ->
-      List.iter
-        (fun b ->
-          let failed = [ a; b ] in
-          let usable l = not (List.mem l.Topo.Graph.id failed) in
-          let connected =
-            match
-              Topo.Paths.shortest_path g ~usable sc.Topo.Nets.ingress
-                sc.Topo.Nets.egress
-            with
-            | Some _ -> true
-            | None -> false
-          in
-          if connected then begin
-            incr pairs;
-            let analysis =
-              Kar.Markov.analyze g ~plan ~policy:Kar.Policy.Not_input_port
-                ~failed ~src:sc.Topo.Nets.ingress ~dst:sc.Topo.Nets.egress
-            in
-            if
-              analysis.Kar.Markov.p_delivered +. analysis.Kar.Markov.p_stranded
-              >= 0.999
-            then incr kar_ok;
-            match
-              Baselines.Fast_failover.hops_between g sc.Topo.Nets.ingress
-                sc.Topo.Nets.egress ~failed
-            with
-            | Some _ -> incr ff_ok
-            | None -> ()
-          end)
-        rest;
-      sweep rest
+  let m = Array.length core_links in
+  let pairs = Array.make (m * (m - 1) / 2) (0, 0) in
+  let u = ref 0 in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      pairs.(!u) <- (core_links.(i), core_links.(j));
+      incr u
+    done
+  done;
+  let evaluate ~idx:_ (a, b) =
+    let failed = [ a; b ] in
+    let usable l = not (List.mem l.Topo.Graph.id failed) in
+    match
+      Topo.Paths.shortest_path g ~usable sc.Topo.Nets.ingress
+        sc.Topo.Nets.egress
+    with
+    | None -> None
+    | Some _ ->
+      let analysis =
+        Kar.Markov.analyze g ~plan ~policy:Kar.Policy.Not_input_port ~failed
+          ~src:sc.Topo.Nets.ingress ~dst:sc.Topo.Nets.egress
+      in
+      let kar_ok =
+        analysis.Kar.Markov.p_delivered +. analysis.Kar.Markov.p_stranded
+        >= 0.999
+      in
+      let ff_ok =
+        match
+          Baselines.Fast_failover.hops_between g sc.Topo.Nets.ingress
+            sc.Topo.Nets.egress ~failed
+        with
+        | Some _ -> true
+        | None -> false
+      in
+      Some (kar_ok, ff_ok)
   in
-  sweep core_links;
+  let results =
+    match pool with
+    | Some p -> Util.Pool.map p pairs ~f:evaluate
+    | None -> Util.Pool.run pairs ~f:evaluate
+  in
+  let considered = ref 0 and kar_ok = ref 0 and ff_ok = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (kar, ff) ->
+        incr considered;
+        if kar then incr kar_ok;
+        if ff then incr ff_ok)
+    results;
   {
     kar_table_entries = 0;
     ff_table_entries = Baselines.Fast_failover.table_size g;
-    pairs_considered = !pairs;
+    pairs_considered = !considered;
     kar_survives = !kar_ok;
     ff_survives = !ff_ok;
   }

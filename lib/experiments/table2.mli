@@ -32,6 +32,10 @@ type evidence = {
   ff_survives : int; (** pairs the single-backup baseline still delivers *)
 }
 
-val measure : unit -> evidence
+(** [measure ()] sweeps every double core-link failure, one pool task per
+    pair, and folds the counts in enumeration order (so the result is
+    independent of parallelism).  [pool] overrides the shared pool — the
+    bench harness uses it to time the sweep at j ∈ {1,2,4,8}. *)
+val measure : ?pool:Util.Pool.t -> unit -> evidence
 
 val to_string : unit -> string

@@ -19,6 +19,20 @@ let split g =
   let seed = next g in
   create (mix (Int64.add seed 0x8E38C9A939FF7CB1L))
 
+let split_n g n =
+  if n < 0 then invalid_arg "Prng.split_n: n must be >= 0";
+  if n = 0 then [||]
+  else begin
+    (* Explicit ascending loop: the parent must advance exactly as [n]
+       successive [split]s would, independent of evaluation-order
+       subtleties. *)
+    let a = Array.make n (split g) in
+    for i = 1 to n - 1 do
+      a.(i) <- split g
+    done;
+    a
+  end
+
 let int g bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Reject to avoid modulo bias; bound is tiny in practice, so the

@@ -17,6 +17,12 @@ val of_int : int -> t
     [g].  Used to give each simulated switch its own stream. *)
 val split : t -> t
 
+(** [split_n g n] derives [n] independent child streams, advancing [g]
+    exactly as [n] successive {!split}s would.  Used to pre-derive one
+    stream per unit of parallel work {e before} dispatch to a
+    {!Pool}, so results are independent of execution order. *)
+val split_n : t -> int -> t array
+
 (** [next g] is the next raw 64-bit output. *)
 val next : t -> int64
 

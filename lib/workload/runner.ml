@@ -53,22 +53,35 @@ type timeline_result = {
   net_drops : int;
 }
 
-let install_data_plane net policy seed =
+let install_data_plane ?plan net policy seed =
   match policy with
-  | Kar p -> Netsim.Karnet.install_switches net ~policy:p ~seed
+  | Kar p -> Netsim.Karnet.install_switches ?plan net ~policy:p ~seed
   | Fast_failover -> Baselines.Fast_failover.install net
 
-(* Builds the net + stack + one flow; returns what the callers sample. *)
-let setup sc ~policy ~level ~seed ~sampler ?(detection_delay_s = 0.0)
+let scenario_plans sc level =
+  ( Kar.Controller.scenario_plan sc level,
+    Kar.Controller.scenario_reverse_plan sc level )
+
+(* Builds the net + stack + one flow; returns what the callers sample.
+   [plans] lets replication loops encode the (immutable) route plans once
+   and share them across reps and worker domains; only the simulator is
+   re-seeded per rep. *)
+let setup ?plans sc ~policy ~level ~seed ~sampler ?(detection_delay_s = 0.0)
     ?(tcp = Tcp.Flow.default_config) () =
   let engine = Engine.create () in
   let net =
     Net.create ~graph:sc.Nets.graph ~engine ~detection_delay_s ()
   in
-  install_data_plane net policy seed;
+  let fwd, rev =
+    match plans with Some p -> p | None -> scenario_plans sc level
+  in
+  (* Threading the forward plan arms the switches' residue cache; packets
+     on any other route ID (reverse traffic, edge re-encodes) miss it and
+     take the remainder kernel, so decisions are unchanged. *)
+  (match policy with
+   | Kar _ -> install_data_plane ~plan:fwd net policy seed
+   | Fast_failover -> install_data_plane net policy seed);
   let stack = Tcp.Stack.create ~net () in
-  let fwd = Kar.Controller.scenario_plan sc level in
-  let rev = Kar.Controller.scenario_reverse_plan sc level in
   let flow =
     Tcp.Flow.start ~net ~id:1 ~src:sc.Nets.ingress ~dst:sc.Nets.egress
       ~fwd_route:fwd.Kar.Route.route_id ~rev_route:rev.Kar.Route.route_id
@@ -147,10 +160,10 @@ let default_iperf =
     tcp = Tcp.Flow.default_config;
   }
 
-let one_iperf sc config ~seed =
+let one_iperf ?plans sc config ~seed =
   let sampler = Tcp.Sampler.create ~bin_s:0.1 () in
   let engine, net, flow =
-    setup sc ~policy:config.policy ~level:config.level ~seed ~sampler
+    setup ?plans sc ~policy:config.policy ~level:config.level ~seed ~sampler
       ~tcp:config.tcp ()
   in
   (match config.failure with
@@ -160,9 +173,16 @@ let one_iperf sc config ~seed =
   Tcp.Flow.stop flow;
   Tcp.Sampler.mean_mbps sampler ~from_s:config.warmup_s ~until:config.rep_duration_s
 
+let rep_seed config i = config.seed + (1000 * i)
+
+(* Reps are independent simulations seeded by rep index, so they run on
+   the domain pool; [Pool.map] restores sample order, which keeps the
+   summary byte-identical at any [-j]. *)
 let iperf_reps sc config =
   if config.reps <= 0 then invalid_arg "Runner.iperf_reps: reps must be positive";
+  let plans = scenario_plans sc config.level in
+  let seeds = Array.init config.reps (fun i -> rep_seed config i) in
   let samples =
-    List.init config.reps (fun i -> one_iperf sc config ~seed:(config.seed + (1000 * i)))
+    Util.Pool.run seeds ~f:(fun ~idx:_ seed -> one_iperf ~plans sc config ~seed)
   in
-  Util.Stats.summarize samples
+  Util.Stats.summarize (Array.to_list samples)

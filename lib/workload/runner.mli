@@ -77,10 +77,27 @@ type iperf_config = {
 
 val default_iperf : iperf_config
 
+(** [scenario_plans sc level] is the (forward, reverse) route-plan pair
+    for the scenario — the invariant per-rep work.  Replication loops
+    encode it once and share the immutable plans across reps (and across
+    the {!Util.Pool} worker domains); only the simulator is re-seeded. *)
+val scenario_plans :
+  Topo.Nets.scenario -> Kar.Controller.level -> Kar.Route.plan * Kar.Route.plan
+
 (** [iperf_reps sc config] runs [reps] independent fresh-connection
-    transfers and summarises their mean goodputs (the Fig. 5/7 bars). *)
+    transfers and summarises their mean goodputs (the Fig. 5/7 bars).
+    Reps run on the shared {!Util.Pool}; each rep is seeded by
+    {!rep_seed}, so the summary is byte-identical at any pool size. *)
 val iperf_reps : Topo.Nets.scenario -> iperf_config -> Util.Stats.summary
 
+(** [rep_seed config i] is the engine seed of repetition [i] — derived
+    from the config seed and the rep index alone, never from execution
+    order. *)
+val rep_seed : iperf_config -> int -> int
+
 (** [one_iperf sc config ~seed] is a single repetition's mean goodput in
-    Mb/s. *)
-val one_iperf : Topo.Nets.scenario -> iperf_config -> seed:int -> float
+    Mb/s.  [plans] shares pre-encoded route plans (see
+    {!scenario_plans}). *)
+val one_iperf :
+  ?plans:Kar.Route.plan * Kar.Route.plan ->
+  Topo.Nets.scenario -> iperf_config -> seed:int -> float
