@@ -306,6 +306,39 @@ let pool_entries () =
     ("pool/table2-speedup-j4", j1 /. j4);
   ]
 
+(* --- serving-layer benchmarks ---
+
+   The svc gauges come in two kinds.  Wall-clock: [svc/requests-per-sec-jN]
+   is how fast the plan server chews through a fixed 4k-request Zipf
+   workload with batch computation on a private pool of N jobs, and
+   [svc/speedup-j4] their ratio (batches are small — mean ~2 keys — so
+   this is a sanity ratio, not the pool's table2-style scaling).  Virtual,
+   machine-independent: [svc/p99-virtual-ms] and [svc/hit-ratio] are
+   deterministic functions of the workload and the server model, so any
+   movement is a code change, not noise. *)
+
+let svc_entries () =
+  let requests = 4_000 in
+  let g, reqs = Experiments.Service.bench_workload ~requests in
+  let serve_rps ~jobs =
+    let p = Util.Pool.create ~jobs in
+    let one () = Experiments.Service.bench_serve ~pool:p g reqs in
+    let report = one () (* warm *) in
+    let reps = 3 in
+    let s = wall (fun () -> for _ = 1 to reps do ignore (one ()) done) in
+    Util.Pool.shutdown p;
+    (float_of_int (reps * requests) /. s, report)
+  in
+  let j1, report = serve_rps ~jobs:1 in
+  let j4, _ = serve_rps ~jobs:4 in
+  [
+    ("svc/requests-per-sec-j1", j1);
+    ("svc/requests-per-sec-j4", j4);
+    ("svc/speedup-j4", j4 /. j1);
+    ("svc/p99-virtual-ms", report.Kar_service.Server.p99 *. 1e3);
+    ("svc/hit-ratio", report.Kar_service.Server.hit_ratio);
+  ]
+
 (* --- machine-readable output (a flat {"key": number} JSON object) --- *)
 
 let json_escape name =
@@ -414,6 +447,28 @@ let check_entry (key, baseline) fresh =
               key now cores)
        | _ -> None)
     else if starts_with ~prefix:"pool/" key then None
+    else if key = "svc/speedup-j4" then
+      (* Sanity ratio, not a scaling target: service batches average ~2
+         keys, so j4 buys little — but on a >= 4-core host it must not be
+         drastically slower than serial (that would mean the private-pool
+         dispatch path went pathological, e.g. a lock convoy per batch). *)
+      (match List.assoc_opt "pool/cores" fresh with
+       | Some cores when cores >= 4.0 && now < 0.5 ->
+         Some
+           (Printf.sprintf
+              "%s: %.2fx (< 0.5x on a %.0f-core host; parallel batch \
+               dispatch is pathologically slow)"
+              key now cores)
+       | _ -> None)
+    else if key = "svc/hit-ratio" then
+      (* Deterministic in the workload: an absolute drop means the cache,
+         the epochs, or the generator changed behaviour. *)
+      if now < baseline -. 0.10 then
+        Some
+          (Printf.sprintf "%s: %.3f -> %.3f (hit ratio dropped by more \
+                           than 0.10)" key baseline now)
+      else None
+    else if starts_with ~prefix:"svc/requests-per-sec" key then None
     else if higher_is_better key then
       if baseline > 0.0 && now < baseline /. regression_factor then
         Some
@@ -438,11 +493,13 @@ let measure_all ~quota ~packets =
   Printf.printf "steady-state forward path: %.3f minor words/packet\n" words;
   let pool = pool_entries () in
   List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) pool;
+  let svc = svc_entries () in
+  List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) svc;
   print_newline ();
   kernels
   @ [ ("netsim/packets-per-sec", pps);
       ("gc/forward-minor-words-per-packet", words) ]
-  @ pool
+  @ pool @ svc
 
 let run_experiments () =
   let profile = Experiments.Profile.from_env () in

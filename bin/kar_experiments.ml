@@ -1,49 +1,72 @@
 (* Command-line entry point: regenerate any of the paper's tables and
    figures, or the ablations, by name. *)
 
-let experiments : (string * string * (Experiments.Profile.t -> string)) list =
+(* Experiments grouped by category; --list prints the groups, everything
+   else (lookup, nearest-match suggestions, run-all order) works on the
+   flattened list. *)
+let categories : (string * (string * string * (Experiments.Profile.t -> string)) list) list =
   [
-    ("fig1", "Section 2 worked example (route IDs 44 and 660)",
-     fun _ -> Experiments.Fig1.to_string ());
-    ("table1", "Table 1: route-ID bit lengths per protection level",
-     fun _ -> Experiments.Table1.to_string ());
-    ("fig4", "Fig. 4: goodput timeline across a failure, per policy",
-     fun p -> Experiments.Fig4.to_string ~profile:p ());
-    ("fig5", "Fig. 5: goodput vs failure x protection x technique",
-     fun p -> Experiments.Fig5.to_string ~profile:p ());
-    ("fig7", "Fig. 7: RNP backbone failures under NIP + partial protection",
-     fun p -> Experiments.Fig7.to_string ~profile:p ());
-    ("fig8", "Fig. 8: redundant-path worst case",
-     fun p -> Experiments.Fig8.to_string ~profile:p ());
-    ("table2", "Table 2: design-space comparison with measured evidence",
-     fun _ -> Experiments.Table2.to_string ());
-    ("hops", "Ablation: exact vs Monte-Carlo walk metrics per policy",
-     fun _ -> Experiments.Ablations.policy_hops_table ());
-    ("ids", "Ablation: switch-ID assignment strategies",
-     fun _ -> Experiments.Ablations.ids_table ());
-    ("budget", "Ablation: protection bit budget vs delivery",
-     fun _ -> Experiments.Ablations.budget_table ());
-    ("planner", "Ablation: distance-ordered vs analysis-guided protection",
-     fun _ -> Experiments.Ablations.planner_table ());
-    ("cc", "Ablation: Reno vs CUBIC under deflection",
-     fun p -> Experiments.Ablations.cc_table ~profile:p ());
-    ("delivery", "Ablation: UDP delivery ratio per policy",
-     fun p -> Experiments.Ablations.delivery_table ~profile:p ());
-    ("schemes", "Beyond the paper: reaction-scheme comparison",
-     fun p -> Experiments.Reaction.compare_to_string ~profile:p ());
-    ("detection", "Beyond the paper: failure-detection sensitivity",
-     fun p -> Experiments.Reaction.detection_to_string ~profile:p ());
-    ("bystander", "Beyond the paper: interference with bystander traffic",
-     fun p -> Experiments.Congestion.to_string ~profile:p ());
-    ("scaling", "Beyond the paper: route-ID bits vs network size",
-     fun _ -> Experiments.Scaling.to_string ());
-    ("multipath", "Beyond the paper: multipath header cost",
-     fun _ -> Experiments.Scaling.multipath_to_string ());
-    ("multifail", "Beyond the paper: simultaneous multiple failures",
-     fun _ -> Experiments.Multifailure.to_string ());
-    ("invariants", "Trace-checked invariants over every single core-link failure",
-     fun _ -> Experiments.Invariants.to_string ());
+    ( "Figures",
+      [
+        ("fig1", "Section 2 worked example (route IDs 44 and 660)",
+         fun _ -> Experiments.Fig1.to_string ());
+        ("fig4", "Fig. 4: goodput timeline across a failure, per policy",
+         fun p -> Experiments.Fig4.to_string ~profile:p ());
+        ("fig5", "Fig. 5: goodput vs failure x protection x technique",
+         fun p -> Experiments.Fig5.to_string ~profile:p ());
+        ("fig7", "Fig. 7: RNP backbone failures under NIP + partial protection",
+         fun p -> Experiments.Fig7.to_string ~profile:p ());
+        ("fig8", "Fig. 8: redundant-path worst case",
+         fun p -> Experiments.Fig8.to_string ~profile:p ());
+      ] );
+    ( "Tables",
+      [
+        ("table1", "Table 1: route-ID bit lengths per protection level",
+         fun _ -> Experiments.Table1.to_string ());
+        ("table2", "Table 2: design-space comparison with measured evidence",
+         fun _ -> Experiments.Table2.to_string ());
+      ] );
+    ( "Ablations",
+      [
+        ("hops", "Ablation: exact vs Monte-Carlo walk metrics per policy",
+         fun _ -> Experiments.Ablations.policy_hops_table ());
+        ("ids", "Ablation: switch-ID assignment strategies",
+         fun _ -> Experiments.Ablations.ids_table ());
+        ("budget", "Ablation: protection bit budget vs delivery",
+         fun _ -> Experiments.Ablations.budget_table ());
+        ("planner", "Ablation: distance-ordered vs analysis-guided protection",
+         fun _ -> Experiments.Ablations.planner_table ());
+        ("cc", "Ablation: Reno vs CUBIC under deflection",
+         fun p -> Experiments.Ablations.cc_table ~profile:p ());
+        ("delivery", "Ablation: UDP delivery ratio per policy",
+         fun p -> Experiments.Ablations.delivery_table ~profile:p ());
+      ] );
+    ( "Beyond the paper",
+      [
+        ("schemes", "Beyond the paper: reaction-scheme comparison",
+         fun p -> Experiments.Reaction.compare_to_string ~profile:p ());
+        ("detection", "Beyond the paper: failure-detection sensitivity",
+         fun p -> Experiments.Reaction.detection_to_string ~profile:p ());
+        ("bystander", "Beyond the paper: interference with bystander traffic",
+         fun p -> Experiments.Congestion.to_string ~profile:p ());
+        ("scaling", "Beyond the paper: route-ID bits vs network size",
+         fun _ -> Experiments.Scaling.to_string ());
+        ("multipath", "Beyond the paper: multipath header cost",
+         fun _ -> Experiments.Scaling.multipath_to_string ());
+        ("multifail", "Beyond the paper: simultaneous multiple failures",
+         fun _ -> Experiments.Multifailure.to_string ());
+        ("invariants", "Trace-checked invariants over every single core-link failure",
+         fun _ -> Experiments.Invariants.to_string ());
+      ] );
+    ( "Service",
+      [
+        ("svc", "Online plan server: steady state, skew sweep, replan storm",
+         fun p -> Experiments.Service.to_string ~profile:p ());
+      ] );
   ]
+
+let experiments : (string * string * (Experiments.Profile.t -> string)) list =
+  List.concat_map snd categories
 
 (* Classic two-row Levenshtein, for suggesting the closest experiment id
    on a typo. *)
@@ -124,7 +147,11 @@ let setup_logging () =
 let main names list paper jobs =
   setup_logging ();
   if list then
-    List.iter (fun (n, d, _) -> Printf.printf "%-10s %s\n" n d) experiments
+    List.iter
+      (fun (category, entries) ->
+        Printf.printf "%s:\n" category;
+        List.iter (fun (n, d, _) -> Printf.printf "  %-10s %s\n" n d) entries)
+      categories
   else begin
     Util.Pool.set_jobs (if jobs > 0 then jobs else Util.Pool.default_jobs ());
     let profile =

@@ -1,0 +1,229 @@
+(* Command-line entry point for the online route-plan server: generate a
+   seeded open-loop workload against a topology, serve it, and report
+   latency/cache/batching metrics.  Optionally fail (and repair) a link
+   mid-run to watch the epoch-invalidation replan storm, and dump the
+   deterministic event stream as JSONL. *)
+
+module Workload = Kar_service.Workload
+module Server = Kar_service.Server
+
+type net =
+  | Net15
+  | Rnp28
+  | Gen of int
+
+let parse_net = function
+  | "net15" -> Ok Net15
+  | "rnp28" -> Ok Rnp28
+  | s ->
+    let gen n = if n >= 4 then Ok (Gen n) else Error (`Msg "gen:N needs N >= 4") in
+    (match String.split_on_char ':' s with
+     | [ "gen" ] -> gen 32
+     | [ "gen"; n ] ->
+       (match int_of_string_opt n with
+        | Some n -> gen n
+        | None -> Error (`Msg (Printf.sprintf "bad generated size %S" n)))
+     | _ -> Error (`Msg (Printf.sprintf "unknown topology %S (net15|rnp28|gen:N)" s)))
+
+let graph_of_net = function
+  | Net15 -> (Topo.Nets.net15.Topo.Nets.graph, Topo.Nets.net15.Topo.Nets.failures)
+  | Rnp28 -> (Topo.Nets.rnp28.Topo.Nets.graph, Topo.Nets.rnp28.Topo.Nets.failures)
+  | Gen n -> (Experiments.Service.testbed ~n_core:n (), [])
+
+let parse_levels s =
+  let one name =
+    match name with
+    | "unprotected" -> Ok Kar.Controller.Unprotected
+    | "partial" -> Ok Kar.Controller.Partial
+    | "full" -> Ok Kar.Controller.Full
+    | _ -> Error (`Msg (Printf.sprintf "unknown level %S" name))
+  in
+  let rec all = function
+    | [] -> Ok []
+    | x :: tl ->
+      (match (one x, all tl) with
+       | Ok l, Ok ls -> Ok (l :: ls)
+       | (Error _ as e), _ | _, (Error _ as e) -> e)
+  in
+  match all (String.split_on_char ',' s) with
+  | Ok [] -> Error (`Msg "empty level list")
+  | Ok ls -> Ok (Array.of_list ls)
+  | Error _ as e -> e
+
+let report_to_string (r : Server.report) =
+  let ms v = Printf.sprintf "%.3f" (v *. 1e3) in
+  Util.Texttab.render_kv
+    [
+      ("requests", string_of_int r.Server.requests);
+      ("virtual makespan (s)", Printf.sprintf "%.3f" r.Server.makespan);
+      ("virtual throughput (req/s)", Printf.sprintf "%.0f" r.Server.virtual_rps);
+      ("cache hit ratio", Printf.sprintf "%.1f%%" (100.0 *. r.Server.hit_ratio));
+      ( "cache hits/misses/stale",
+        Printf.sprintf "%d/%d/%d" r.Server.cache.Kar_service.Cache.hits
+          r.Server.cache.Kar_service.Cache.misses
+          r.Server.cache.Kar_service.Cache.stale );
+      ("cache evictions", string_of_int r.Server.cache.Kar_service.Cache.evictions);
+      ("topology epoch", string_of_int r.Server.cache.Kar_service.Cache.epoch);
+      ("latency mean (ms)", ms r.Server.mean_latency);
+      ("latency p50 (ms)", ms r.Server.p50);
+      ("latency p95 (ms)", ms r.Server.p95);
+      ("latency p99 (ms)", ms r.Server.p99);
+      ("plans computed", string_of_int r.Server.planned);
+      ("batches", string_of_int r.Server.batches);
+      ("max batch", string_of_int r.Server.max_batch);
+      ("coalesced (single-flight)", string_of_int r.Server.coalesced);
+      ("stale in-flight plans", string_of_int r.Server.stale_completions);
+      ("max keys queued+in-flight", string_of_int r.Server.max_depth);
+      ("max requests waiting", string_of_int r.Server.max_waiting);
+      ("unroutable", string_of_int r.Server.unroutable);
+    ]
+
+let run net requests rate skew seed levels cache_cap batch_size batch_delay
+    workers fail_at repair_at fail_link trace jobs =
+  Util.Pool.set_jobs (if jobs > 0 then jobs else Util.Pool.default_jobs ());
+  let graph, failure_cases = graph_of_net net in
+  let spec =
+    {
+      Workload.default with
+      Workload.n = requests;
+      rate;
+      skew;
+      seed;
+      levels;
+    }
+  in
+  let reqs = Workload.generate graph spec in
+  let config =
+    {
+      Server.default_config with
+      Server.cache_capacity = cache_cap;
+      batch_size;
+      batch_delay;
+      workers;
+    }
+  in
+  let failures =
+    match fail_at with
+    | None -> []
+    | Some t ->
+      let link =
+        match fail_link with
+        | Some l when l >= 0 && l < Topo.Graph.n_links graph -> l
+        | Some l ->
+          Printf.eprintf "no link %d in this topology\n" l;
+          exit 1
+        | None ->
+          (match failure_cases with
+           | fc :: _ -> fc.Topo.Nets.link
+           | [] -> Experiments.Service.storm_link graph)
+      in
+      (t, `Fail link)
+      :: (match repair_at with Some t' -> [ (t', `Repair link) ] | None -> [])
+  in
+  let trace_out = Option.map open_out trace in
+  let sink =
+    match trace_out with
+    | None -> None
+    | Some oc ->
+      Some
+        (fun e ->
+          output_string oc (Kar_service.Event.to_jsonl e);
+          output_char oc '\n')
+  in
+  let server = Server.create ~config ~graph () in
+  let report = Server.run server ?sink ~failures reqs in
+  Option.iter close_out trace_out;
+  print_string (report_to_string report)
+
+open Cmdliner
+
+let net_arg =
+  let net_conv = Arg.conv (parse_net, fun ppf n ->
+      Format.pp_print_string ppf
+        (match n with Net15 -> "net15" | Rnp28 -> "rnp28" | Gen n -> Printf.sprintf "gen:%d" n))
+  in
+  let doc = "Topology: the paper's $(b,net15) or $(b,rnp28), or $(b,gen:N) \
+             (Waxman testbed, N core switches, one edge host each)." in
+  Arg.(value & opt net_conv (Gen 32) & info [ "net" ] ~docv:"NET" ~doc)
+
+let requests_arg =
+  let doc = "Number of requests in the open-loop workload." in
+  Arg.(value & opt int 10_000 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+
+let rate_arg =
+  let doc = "Mean Poisson arrival rate, requests per second." in
+  Arg.(value & opt float 10_000.0 & info [ "rate" ] ~docv:"R" ~doc)
+
+let skew_arg =
+  let doc = "Zipf exponent over (src, dst) pair popularity (0 = uniform)." in
+  Arg.(value & opt float 0.9 & info [ "skew" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "Workload seed; everything downstream is deterministic in it." in
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let levels_arg =
+  let levels_conv =
+    Arg.conv
+      ( parse_levels,
+        fun ppf ls ->
+          Format.pp_print_string ppf
+            (String.concat ","
+               (Array.to_list (Array.map Kar.Controller.level_to_string ls))) )
+  in
+  let doc = "Comma-separated protection levels drawn uniformly per request \
+             (unprotected,partial,full)." in
+  Arg.(value
+       & opt levels_conv [| Kar.Controller.Unprotected; Kar.Controller.Partial |]
+       & info [ "levels" ] ~docv:"LEVELS" ~doc)
+
+let cache_arg =
+  let doc = "Plan cache capacity (LRU entries)." in
+  Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
+
+let batch_size_arg =
+  let doc = "Dispatch a batch at this many distinct missed keys." in
+  Arg.(value & opt int 16 & info [ "batch-size" ] ~docv:"N" ~doc)
+
+let batch_delay_arg =
+  let doc = "Max seconds a batch stays open before dispatching anyway." in
+  Arg.(value & opt float 2e-4 & info [ "batch-delay" ] ~docv:"S" ~doc)
+
+let workers_arg =
+  let doc = "Modelled planner threads (virtual-time model; fixed so results \
+             do not depend on -j)." in
+  Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+
+let fail_at_arg =
+  let doc = "Fail a link at this virtual time (epoch bump + replan storm)." in
+  Arg.(value & opt (some float) None & info [ "fail-at" ] ~docv:"T" ~doc)
+
+let repair_at_arg =
+  let doc = "Repair the failed link at this virtual time." in
+  Arg.(value & opt (some float) None & info [ "repair-at" ] ~docv:"T" ~doc)
+
+let fail_link_arg =
+  let doc = "Link id to fail (default: the scenario's first failure case, \
+             or a popular core link on generated topologies)." in
+  Arg.(value & opt (some int) None & info [ "fail-link" ] ~docv:"LINK" ~doc)
+
+let trace_arg =
+  let doc = "Write the deterministic service event stream to $(docv) as JSONL." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let jobs_arg =
+  let doc = "Worker domains for batch plan computation.  Reports are \
+             byte-identical at any value.  Defaults to $(b,KAR_JOBS) if \
+             set, else the machine's recommended domain count." in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "Serve route-plan requests from an online KAR control plane" in
+  let info = Cmd.info "kar_serve" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ net_arg $ requests_arg $ rate_arg $ skew_arg $ seed_arg
+      $ levels_arg $ cache_arg $ batch_size_arg $ batch_delay_arg $ workers_arg
+      $ fail_at_arg $ repair_at_arg $ fail_link_arg $ trace_arg $ jobs_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -81,8 +81,9 @@ let no_edge_transit g ~src ~dst l =
   let ok v = Graph.is_core g v || v = src || v = dst in
   ok l.Graph.ep0.Graph.node && ok l.Graph.ep1.Graph.node
 
-let core_route g ~src ~dst =
-  match Paths.shortest_path g ~usable:(no_edge_transit g ~src ~dst) src dst with
+let core_route ?(usable = fun _ -> true) g ~src ~dst =
+  let usable l = no_edge_transit g ~src ~dst l && usable l in
+  match Paths.shortest_path g ~usable src dst with
   | None ->
     invalid_arg
       (Printf.sprintf "Controller.route: no path between %d and %d" src dst)
@@ -99,8 +100,8 @@ let core_route g ~src ~dst =
        core
      | [] -> invalid_arg "Controller.route: empty path")
 
-let route g ~src ~dst ~protection =
-  let core = core_route g ~src ~dst in
+let route ?usable g ~src ~dst ~protection =
+  let core = core_route ?usable g ~src ~dst in
   let labels = List.map (Graph.label g) core in
   let base = Route.of_labels_exn g labels ~egress_label:(Graph.label g dst) in
   Route.protect_exn g base protection
@@ -152,9 +153,10 @@ let disjoint_plans g ~src ~dst ~k =
 type cache = {
   graph : Graph.t;
   plans : (Graph.node * Graph.node, Bignum.Z.t option) Hashtbl.t;
+  mutable computed : int;
 }
 
-let create_cache graph = { graph; plans = Hashtbl.create 64 }
+let create_cache graph = { graph; plans = Hashtbl.create 64; computed = 0 }
 
 let reencode cache ~at ~dst =
   match Hashtbl.find_opt cache.plans (at, dst) with
@@ -164,5 +166,8 @@ let reencode cache ~at ~dst =
       try Some (route cache.graph ~src:at ~dst ~protection:[]).Route.route_id
       with Invalid_argument _ -> None
     in
+    cache.computed <- cache.computed + 1;
     Hashtbl.replace cache.plans (at, dst) result;
     result
+
+let plans_computed cache = cache.computed

@@ -33,9 +33,16 @@ val scenario_plan : Topo.Nets.scenario -> level -> Route.plan
 val scenario_reverse_plan : Topo.Nets.scenario -> level -> Route.plan
 
 (** [route g ~src ~dst ~protection] plans a shortest-path route between two
-    edge nodes and folds in the given protection hops.
+    edge nodes and folds in the given protection hops.  [usable] (default:
+    everything) restricts the links the primary path may use — the serving
+    control plane ({!Kar_service}) passes the currently-failed link set so
+    post-failure replans route around known failures; protection hops are
+    not filtered (they are data-plane residues, vetted by the data plane's
+    own liveness check).
     @raise Invalid_argument when no path exists or encoding fails. *)
-val route : Graph.t -> src:Graph.node -> dst:Graph.node -> protection:(int * int) list -> Route.plan
+val route :
+  ?usable:(Graph.link -> bool) ->
+  Graph.t -> src:Graph.node -> dst:Graph.node -> protection:(int * int) list -> Route.plan
 
 (** [disjoint_plans g ~src ~dst ~k] plans up to [k] mutually edge-disjoint
     routes between two edge nodes (greedy shortest-path extraction), each
@@ -58,3 +65,8 @@ val create_cache : Graph.t -> cache
 (** [reencode cache ~at ~dst] is the fresh route ID from edge [at] to edge
     [dst], or [None] when no path exists or encoding fails. *)
 val reencode : cache -> at:Graph.node -> dst:Graph.node -> Bignum.Z.t option
+
+(** [plans_computed cache] counts the [(at, dst)] pairs actually planned so
+    far (failed plans included); repeated {!reencode} calls for a cached
+    pair do not move it.  Observability for tests and the serving layer. *)
+val plans_computed : cache -> int

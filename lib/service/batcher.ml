@@ -1,0 +1,141 @@
+module Engine = Netsim.Engine
+
+type ('k, 'v) pending = { mutable waiters : (('v, exn) result -> unit) list }
+
+type ('k, 'v) t = {
+  engine : Engine.t;
+  batch_size : int;
+  max_delay : float;
+  workers : int;
+  dispatch_overhead : float;
+  pool : Util.Pool.t option;
+  on_dispatch : batch:int -> keys:'k array -> unit;
+  on_key_complete : batch:int -> key:'k -> ('v, exn) result -> unit;
+  compute : 'k -> 'v;
+  cost : 'k -> ('v, exn) result -> float;
+  (* keys queued or in flight; single-flight subscription point *)
+  pending : ('k, ('k, 'v) pending) Hashtbl.t;
+  mutable queue : 'k list; (* open batch, reversed accumulation order *)
+  mutable n_queued : int;
+  mutable n_inflight : int;
+  mutable n_waiting : int;
+  mutable timer : Engine.event option;
+  mutable batches : int;
+  mutable computed : int;
+  mutable coalesced : int;
+  mutable max_batch : int;
+}
+
+let create ~engine ~batch_size ~max_delay ~workers ~dispatch_overhead ?pool
+    ?(on_dispatch = fun ~batch:_ ~keys:_ -> ())
+    ?(on_key_complete = fun ~batch:_ ~key:_ _ -> ()) ~compute ~cost () =
+  if batch_size < 1 then invalid_arg "Batcher.create: batch_size must be >= 1";
+  if max_delay < 0.0 then invalid_arg "Batcher.create: negative max_delay";
+  if workers < 1 then invalid_arg "Batcher.create: workers must be >= 1";
+  {
+    engine;
+    batch_size;
+    max_delay;
+    workers;
+    dispatch_overhead;
+    pool;
+    on_dispatch;
+    on_key_complete;
+    compute;
+    cost;
+    pending = Hashtbl.create 64;
+    queue = [];
+    n_queued = 0;
+    n_inflight = 0;
+    n_waiting = 0;
+    timer = None;
+    batches = 0;
+    computed = 0;
+    coalesced = 0;
+    max_batch = 0;
+  }
+
+let complete t ~batch key result =
+  match Hashtbl.find_opt t.pending key with
+  | None -> () (* unreachable: completions fire exactly once per key *)
+  | Some p ->
+    Hashtbl.remove t.pending key;
+    t.n_inflight <- t.n_inflight - 1;
+    t.on_key_complete ~batch ~key result;
+    let waiters = List.rev p.waiters in
+    t.n_waiting <- t.n_waiting - List.length waiters;
+    List.iter (fun ready -> ready result) waiters
+
+let dispatch t =
+  (match t.timer with
+   | Some ev ->
+     Engine.cancel ev;
+     t.timer <- None
+   | None -> ());
+  let keys = Array.of_list (List.rev t.queue) in
+  t.queue <- [];
+  t.n_queued <- 0;
+  let n = Array.length keys in
+  if n > 0 then begin
+    t.batches <- t.batches + 1;
+    let batch = t.batches in
+    t.max_batch <- Stdlib.max t.max_batch n;
+    t.n_inflight <- t.n_inflight + n;
+    t.on_dispatch ~batch ~keys;
+    (* the real computation: one pool map over the batch's distinct keys *)
+    let f ~idx:_ k = try Ok (t.compute k) with e -> Error e in
+    let results =
+      match t.pool with
+      | Some p -> Util.Pool.map p keys ~f
+      | None -> Util.Pool.run keys ~f
+    in
+    t.computed <- t.computed + n;
+    (* the modelled timeline: round-robin the keys over [workers] planner
+       threads; completion = dispatch + overhead + the thread's cumulative
+       cost.  Independent of the pool width by construction. *)
+    let now = Engine.now t.engine in
+    let worker_busy = Array.make t.workers 0.0 in
+    Array.iteri
+      (fun i key ->
+        let result = results.(i) in
+        let w = i mod t.workers in
+        worker_busy.(w) <- worker_busy.(w) +. t.cost key result;
+        let at = now +. t.dispatch_overhead +. worker_busy.(w) in
+        ignore
+          (Engine.schedule_at t.engine at (fun () ->
+               complete t ~batch key result)))
+      keys
+  end
+
+let request t key ~ready =
+  t.n_waiting <- t.n_waiting + 1;
+  match Hashtbl.find_opt t.pending key with
+  | Some p ->
+    (* single flight: whether queued or already computing, subscribe only *)
+    t.coalesced <- t.coalesced + 1;
+    p.waiters <- ready :: p.waiters
+  | None ->
+    Hashtbl.add t.pending key { waiters = [ ready ] };
+    t.queue <- key :: t.queue;
+    t.n_queued <- t.n_queued + 1;
+    if t.n_queued >= t.batch_size then dispatch t
+    else if t.timer = None then
+      t.timer <-
+        Some
+          (Engine.schedule_in t.engine t.max_delay (fun () ->
+               t.timer <- None;
+               if t.n_queued > 0 then dispatch t))
+
+let queued t = t.n_queued
+let in_flight t = t.n_inflight
+let waiting t = t.n_waiting
+
+type stats = { batches : int; computed : int; coalesced : int; max_batch : int }
+
+let stats (t : _ t) =
+  {
+    batches = t.batches;
+    computed = t.computed;
+    coalesced = t.coalesced;
+    max_batch = t.max_batch;
+  }

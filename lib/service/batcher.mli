@@ -1,0 +1,71 @@
+(** Miss batching with single-flight deduplication over the domain pool.
+
+    Cache misses are not planned one at a time: they accumulate in a batch
+    that is dispatched when it reaches [batch_size] distinct keys or when
+    [max_delay] of virtual time passes since the batch opened, whichever
+    comes first.  Dispatch computes every key of the batch with one
+    {!Util.Pool} map — the actual multicore win — and {e single-flight}
+    deduplication guarantees that N concurrent requests for the same key
+    cost exactly one plan computation: late arrivals for a key that is
+    queued or already in flight just subscribe to its completion.
+
+    {b Determinism.} Wall-clock speed must not leak into results, so
+    {e virtual} completion times come from a fixed planner model, not from
+    the pool: a batch dispatched at [t] is served by [workers] modelled
+    planner threads, keys assigned round-robin in accumulation order, each
+    key costing [cost key result] seconds; key [i]'s completion fires at
+    [t + dispatch_overhead +] its modelled worker's cumulative cost.  The
+    real pool width only changes how fast the simulation runs, never what
+    it computes — the same argument the experiment engine makes, applied to
+    a server. *)
+
+type ('k, 'v) t
+
+(** [create ~engine ~batch_size ~max_delay ~workers ~dispatch_overhead
+    ?pool ?on_dispatch ?on_key_complete ~compute ~cost ()]:
+
+    - [compute] runs once per distinct key at dispatch (on the pool);
+      exceptions are captured per key as [Error].
+    - [cost key result] is the modelled planning time for the virtual
+      timeline (it may inspect the result, e.g. charge per residue).
+    - [pool]: compute on this private pool instead of the shared
+      {!Util.Pool.run} (the bench harness measures j1 vs j4 this way).
+    - [on_dispatch ~batch ~keys] fires at dispatch time (event stream).
+    - [on_key_complete ~batch ~key result] fires once per key at its
+      virtual completion, before the per-request waiters. *)
+val create :
+  engine:Netsim.Engine.t ->
+  batch_size:int ->
+  max_delay:float ->
+  workers:int ->
+  dispatch_overhead:float ->
+  ?pool:Util.Pool.t ->
+  ?on_dispatch:(batch:int -> keys:'k array -> unit) ->
+  ?on_key_complete:(batch:int -> key:'k -> ('v, exn) result -> unit) ->
+  compute:('k -> 'v) ->
+  cost:('k -> ('v, exn) result -> float) ->
+  unit ->
+  ('k, 'v) t
+
+(** [request t k ~ready] subscribes [ready] to [k]'s result; it fires (via
+    the engine) at the key's virtual completion time.  Queues [k] unless it
+    is already queued or in flight. *)
+val request : ('k, 'v) t -> 'k -> ready:(('v, exn) result -> unit) -> unit
+
+(** Distinct keys waiting in the open batch. *)
+val queued : ('k, 'v) t -> int
+
+(** Distinct keys dispatched whose completion has not fired yet. *)
+val in_flight : ('k, 'v) t -> int
+
+(** Requests subscribed to queued or in-flight keys. *)
+val waiting : ('k, 'v) t -> int
+
+type stats = {
+  batches : int; (** dispatches performed *)
+  computed : int; (** keys actually planned *)
+  coalesced : int; (** requests deduplicated onto an existing key *)
+  max_batch : int; (** largest dispatched batch *)
+}
+
+val stats : ('k, 'v) t -> stats

@@ -1,0 +1,134 @@
+(* Hashtbl over intrusive doubly-linked entries: O(1) lookup, refresh,
+   insert and evict.  [head] is most-recently-used, [tail] least. *)
+
+type ('k, 'v) entry = {
+  key : 'k;
+  mutable value : 'v;
+  mutable born : int; (* epoch the value was inserted under *)
+  mutable prev : ('k, 'v) entry option; (* toward head *)
+  mutable next : ('k, 'v) entry option; (* toward tail *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) entry) Hashtbl.t;
+  mutable head : ('k, 'v) entry option;
+  mutable tail : ('k, 'v) entry option;
+  mutable now : int; (* current epoch *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable stale : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  stale : int;
+  evictions : int;
+  size : int;
+  epoch : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    now = 0;
+    hits = 0;
+    misses = 0;
+    stale = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let epoch t = t.now
+let bump_epoch t = t.now <- t.now + 1
+
+let detach t e =
+  (match e.prev with
+   | Some p -> p.next <- e.next
+   | None -> t.head <- e.next);
+  (match e.next with
+   | Some n -> n.prev <- e.prev
+   | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.head;
+  (match t.head with
+   | Some h -> h.prev <- Some e
+   | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let remove t e =
+  detach t e;
+  Hashtbl.remove t.table e.key
+
+type 'v lookup =
+  | Hit of 'v
+  | Miss
+  | Stale
+
+let lookup t k =
+  match Hashtbl.find_opt t.table k with
+  | None ->
+    t.misses <- t.misses + 1;
+    Miss
+  | Some e when e.born = t.now ->
+    t.hits <- t.hits + 1;
+    detach t e;
+    push_front t e;
+    Hit e.value
+  | Some e ->
+    (* epoch moved on under this entry: drop it so it neither gets served
+       nor occupies capacity a fresh plan needs *)
+    t.stale <- t.stale + 1;
+    remove t e;
+    Stale
+
+let find t k =
+  match lookup t k with
+  | Hit v -> Some v
+  | Miss | Stale -> None
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some e ->
+    remove t e;
+    t.evictions <- t.evictions + 1
+
+let put t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+    e.value <- v;
+    e.born <- t.now;
+    detach t e;
+    push_front t e
+  | None ->
+    while Hashtbl.length t.table >= t.cap do
+      evict_lru t
+    done;
+    let e = { key = k; value = v; born = t.now; prev = None; next = None } in
+    Hashtbl.add t.table k e;
+    push_front t e
+
+let stats (t : _ t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    stale = t.stale;
+    evictions = t.evictions;
+    size = Hashtbl.length t.table;
+    epoch = t.now;
+  }
+
+let hit_ratio (t : _ t) =
+  let total = t.hits + t.misses + t.stale in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

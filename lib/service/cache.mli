@@ -1,0 +1,55 @@
+(** Bounded LRU plan cache with epoch-based invalidation.
+
+    The serving layer keys plans by [(src, dst, level, policy)]; this module
+    keeps the structure generic (['k] keys under structural equality, ['v]
+    values) so it can be tested in isolation.
+
+    {b Epochs.} The cache carries a topology-version counter.  A link
+    failure or repair bumps it ({!bump_epoch}) in O(1); every entry remembers
+    the epoch it was inserted under, and a lookup that finds an entry from an
+    older epoch treats it as {!lookup.Stale}: the entry is dropped on the
+    spot and the caller must replan.  Invalidation is therefore {e lazy} —
+    nothing is scanned at bump time — but no stale route is ever served,
+    which is what turns a failure into a measurable replan storm instead of
+    silent wrong answers. *)
+
+type ('k, 'v) t
+
+type stats = {
+  hits : int;
+  misses : int; (** cold misses: key never present (or evicted) *)
+  stale : int; (** misses caused by epoch invalidation *)
+  evictions : int; (** capacity evictions, not stale drops *)
+  size : int; (** current entries, stale residents included *)
+  epoch : int;
+}
+
+(** [create ~capacity] with [capacity >= 1]. *)
+val create : capacity:int -> ('k, 'v) t
+
+val capacity : ('k, 'v) t -> int
+val epoch : ('k, 'v) t -> int
+
+(** Invalidate every resident entry, O(1). *)
+val bump_epoch : ('k, 'v) t -> unit
+
+type 'v lookup =
+  | Hit of 'v
+  | Miss
+  | Stale (** present but from an older epoch; dropped by this lookup *)
+
+(** [lookup t k] classifies and counts; a [Hit] refreshes the entry's LRU
+    position. *)
+val lookup : ('k, 'v) t -> 'k -> 'v lookup
+
+(** [find t k] is [lookup] flattened to an option. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [put t k v] inserts (or refreshes) [k] at the current epoch and evicts
+    from the least-recently-used end while over capacity. *)
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+
+val stats : ('k, 'v) t -> stats
+
+(** [hits / (hits + misses + stale)]; 0 before any lookup. *)
+val hit_ratio : ('k, 'v) t -> float

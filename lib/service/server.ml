@@ -1,0 +1,281 @@
+module Graph = Topo.Graph
+module Engine = Netsim.Engine
+
+type key = {
+  src : Graph.node;
+  dst : Graph.node;
+  level : Kar.Controller.level;
+  policy : Kar.Policy.t;
+}
+
+type config = {
+  cache_capacity : int;
+  batch_size : int;
+  batch_delay : float;
+  workers : int;
+  dispatch_overhead : float;
+  hit_latency : float;
+  plan_base_cost : float;
+  plan_residue_cost : float;
+}
+
+let default_config =
+  {
+    cache_capacity = 256;
+    batch_size = 16;
+    batch_delay = 2e-4;
+    workers = 4;
+    dispatch_overhead = 2e-5;
+    hit_latency = 5e-6;
+    plan_base_cost = 2e-4;
+    plan_residue_cost = 2e-5;
+  }
+
+(* What the batcher computes per key: the plan (None = unroutable) and the
+   epoch its topology view belonged to. *)
+type computed = { plan : Kar.Route.plan option; born : int }
+
+type t = {
+  config : config;
+  graph : Graph.t;
+  pool : Util.Pool.t option;
+  cache : (key, Kar.Route.plan option) Cache.t;
+  failed : (Graph.link_id, unit) Hashtbl.t;
+  mutable ran : bool;
+}
+
+let create ?(config = default_config) ?pool ~graph () =
+  {
+    config;
+    graph;
+    pool;
+    cache = Cache.create ~capacity:config.cache_capacity;
+    failed = Hashtbl.create 16;
+    ran = false;
+  }
+
+let fail_link t l =
+  Hashtbl.replace t.failed l ();
+  Cache.bump_epoch t.cache
+
+let repair_link t l =
+  Hashtbl.remove t.failed l;
+  Cache.bump_epoch t.cache
+
+(* Plan for a key on the current topology view: shortest path avoiding
+   failed links, then the level's protection members folded in one hop at a
+   time (conflicting hops skipped), exactly as the offline experiments
+   build protected plans.  Protection trees are computed on the failure-
+   free graph — protection is a data-plane safety net whose liveness the
+   switches check themselves. *)
+let plan_for t key =
+  let g = t.graph in
+  let usable l = not (Hashtbl.mem t.failed l.Graph.id) in
+  match Kar.Controller.route ~usable g ~src:key.src ~dst:key.dst ~protection:[] with
+  | exception Invalid_argument _ -> None
+  | base ->
+    (match key.level with
+     | Kar.Controller.Unprotected -> Some base
+     | Kar.Controller.Partial | Kar.Controller.Full ->
+       let path = base.Kar.Route.core_path in
+       let members =
+         match key.level with
+         | Kar.Controller.Partial ->
+           Kar.Protection.off_path_members g ~path ~radius:1
+         | _ -> Kar.Protection.full_members g ~path
+       in
+       (match List.rev path with
+        | [] -> Some base
+        | dest_core :: _ ->
+          let path_labels = List.map (Graph.label g) path in
+          let hops =
+            Kar.Protection.tree_hops g ~dest:dest_core members
+            |> List.filter (fun (s, _) -> not (List.mem s path_labels))
+          in
+          Some
+            (List.fold_left
+               (fun acc hop ->
+                 match Kar.Route.protect g acc [ hop ] with
+                 | Ok plan -> plan
+                 | Error _ -> acc)
+               base hops)))
+
+let link_cause t action l =
+  let link = Graph.link t.graph l in
+  Printf.sprintf "%s SW%d-SW%d" action
+    (Graph.label t.graph link.Graph.ep0.Graph.node)
+    (Graph.label t.graph link.Graph.ep1.Graph.node)
+
+type record = {
+  arrival : float;
+  completion : float;
+  outcome : Event.outcome;
+  ok : bool;
+}
+
+type report = {
+  requests : int;
+  unroutable : int;
+  makespan : float;
+  virtual_rps : float;
+  mean_latency : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  cache : Cache.stats;
+  hit_ratio : float;
+  batches : int;
+  planned : int;
+  coalesced : int;
+  max_batch : int;
+  stale_completions : int;
+  max_depth : int;
+  max_waiting : int;
+  records : record array;
+}
+
+let run t ?(sink = fun _ -> ()) ?(failures = []) requests =
+  if t.ran then invalid_arg "Server.run: a server instance runs one workload";
+  t.ran <- true;
+  let cfg = t.config in
+  let g = t.graph in
+  let engine = Engine.create () in
+  let n = Array.length requests in
+  let records =
+    Array.make n
+      { arrival = 0.0; completion = 0.0; outcome = Event.Miss; ok = false }
+  in
+  let stale_completions = ref 0 in
+  let max_depth = ref 0 and max_waiting = ref 0 in
+  let compute key = { plan = plan_for t key; born = Cache.epoch t.cache } in
+  let cost _key result =
+    match result with
+    | Ok { plan = Some p; _ } ->
+      cfg.plan_base_cost
+      +. (cfg.plan_residue_cost *. float_of_int (List.length p.Kar.Route.residues))
+    | Ok { plan = None; _ } | Error _ -> cfg.plan_base_cost
+  in
+  let on_dispatch ~batch ~keys =
+    sink (Event.Dispatch { t = Engine.now engine; batch; size = Array.length keys })
+  in
+  let on_key_complete ~batch ~key result =
+    let ok, stale, value =
+      match result with
+      | Ok v -> (v.plan <> None, v.born <> Cache.epoch t.cache, Some v.plan)
+      | Error _ -> (false, false, None)
+    in
+    if stale then incr stale_completions
+    else
+      (* plans that raised unexpectedly are not cached either: transient *)
+      Option.iter (fun plan -> Cache.put t.cache key plan) value;
+    sink
+      (Event.Complete
+         {
+           t = Engine.now engine;
+           batch;
+           src = Graph.label g key.src;
+           dst = Graph.label g key.dst;
+           ok;
+           stale;
+         })
+  in
+  let batcher =
+    Batcher.create ~engine ~batch_size:cfg.batch_size ~max_delay:cfg.batch_delay
+      ~workers:cfg.workers ~dispatch_overhead:cfg.dispatch_overhead ?pool:t.pool
+      ~on_dispatch ~on_key_complete ~compute ~cost ()
+  in
+  let sample_gauges () =
+    max_depth := Stdlib.max !max_depth (Batcher.queued batcher + Batcher.in_flight batcher);
+    max_waiting := Stdlib.max !max_waiting (Batcher.waiting batcher)
+  in
+  let finish seq ~arrival ~outcome ~ok =
+    records.(seq) <- { arrival; completion = Engine.now engine; outcome; ok }
+  in
+  let process (r : Workload.request) =
+    let key = { src = r.src; dst = r.dst; level = r.level; policy = r.policy } in
+    let lookup = Cache.lookup t.cache key in
+    let outcome =
+      match lookup with
+      | Cache.Hit _ -> Event.Hit
+      | Cache.Miss -> Event.Miss
+      | Cache.Stale -> Event.Stale
+    in
+    sink
+      (Event.Request
+         {
+           seq = r.seq;
+           t = r.arrival;
+           src = Graph.label g r.src;
+           dst = Graph.label g r.dst;
+           level = Kar.Controller.level_to_string r.level;
+           policy = Kar.Policy.to_string r.policy;
+           outcome;
+         });
+    (match lookup with
+     | Cache.Hit plan ->
+       let ok = plan <> None in
+       ignore
+         (Engine.schedule_in engine cfg.hit_latency (fun () ->
+              finish r.seq ~arrival:r.arrival ~outcome ~ok))
+     | Cache.Miss | Cache.Stale ->
+       Batcher.request batcher key ~ready:(fun result ->
+           let ok = match result with Ok { plan = Some _; _ } -> true | _ -> false in
+           finish r.seq ~arrival:r.arrival ~outcome ~ok));
+    sample_gauges ()
+  in
+  (* topology events first so same-timestamp ties resolve failure-first *)
+  List.iter
+    (fun (at, action) ->
+      ignore
+        (Engine.schedule_at engine at (fun () ->
+             (match action with
+              | `Fail l -> fail_link t l
+              | `Repair l -> repair_link t l);
+             sink
+               (Event.Epoch
+                  {
+                    t = Engine.now engine;
+                    epoch = Cache.epoch t.cache;
+                    cause =
+                      (match action with
+                       | `Fail l -> link_cause t "fail" l
+                       | `Repair l -> link_cause t "repair" l);
+                  }))))
+    failures;
+  (* arrivals chain one ahead instead of loading the heap with the whole
+     open-loop schedule up front *)
+  let rec arrive i () =
+    process requests.(i);
+    if i + 1 < n then
+      ignore (Engine.schedule_at engine requests.(i + 1).Workload.arrival (arrive (i + 1)))
+  in
+  if n > 0 then ignore (Engine.schedule_at engine requests.(0).Workload.arrival (arrive 0));
+  Engine.run engine;
+  let latencies = Array.map (fun r -> r.completion -. r.arrival) records in
+  let unroutable = Array.fold_left (fun acc r -> if r.ok then acc else acc + 1) 0 records in
+  let makespan =
+    Array.fold_left (fun acc r -> Stdlib.max acc r.completion) 0.0 records
+  in
+  let bstats = Batcher.stats batcher in
+  {
+    requests = n;
+    unroutable;
+    makespan;
+    virtual_rps = (if makespan > 0.0 then float_of_int n /. makespan else 0.0);
+    mean_latency =
+      (if n = 0 then 0.0
+       else Array.fold_left ( +. ) 0.0 latencies /. float_of_int n);
+    p50 = (if n = 0 then 0.0 else Util.Stats.p50 latencies);
+    p95 = (if n = 0 then 0.0 else Util.Stats.p95 latencies);
+    p99 = (if n = 0 then 0.0 else Util.Stats.p99 latencies);
+    cache = Cache.stats t.cache;
+    hit_ratio = Cache.hit_ratio t.cache;
+    batches = bstats.Batcher.batches;
+    planned = bstats.Batcher.computed;
+    coalesced = bstats.Batcher.coalesced;
+    max_batch = bstats.Batcher.max_batch;
+    stale_completions = !stale_completions;
+    max_depth = !max_depth;
+    max_waiting = !max_waiting;
+    records;
+  }

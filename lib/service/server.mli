@@ -1,0 +1,100 @@
+(** The online route-plan server: cache in front, single-flight batcher
+    behind, driven by the discrete-event clock.
+
+    A request asks for a route plan keyed by [(src, dst, level, policy)].
+    The server answers from the epoch-checked LRU {!Cache} when it can
+    ([hit_latency] later); otherwise the key goes to the {!Batcher}, which
+    plans batches of distinct keys on the domain pool and completes them on
+    the modelled planner timeline.  Completed plans are inserted into the
+    cache {e unless} the topology epoch moved while they were in flight —
+    stale plans are still served to their waiters (they were correct when
+    requested) but never cached, so one failure produces exactly one replan
+    storm and the hit ratio recovers as the cache refills against the new
+    epoch.
+
+    Plans are computed with {!Kar.Controller.route} restricted to the
+    currently-failed link set, so post-failure plans route around known
+    failures; protection members and their tree hops are recomputed per plan
+    exactly as the offline experiments do.
+
+    Every virtual timestamp in the run (arrivals, dispatches, completions)
+    is independent of the real pool width, so reports and event streams are
+    byte-identical at any [-j]. *)
+
+module Graph = Topo.Graph
+
+(** The unit of caching and of single-flight deduplication. *)
+type key = {
+  src : Graph.node;
+  dst : Graph.node;
+  level : Kar.Controller.level;
+  policy : Kar.Policy.t;
+}
+
+type config = {
+  cache_capacity : int;
+  batch_size : int; (** dispatch threshold, distinct keys *)
+  batch_delay : float; (** max virtual seconds a batch stays open *)
+  workers : int; (** modelled planner threads (fixed; not the pool width) *)
+  dispatch_overhead : float; (** virtual cost of firing a batch *)
+  hit_latency : float; (** virtual response time on a cache hit *)
+  plan_base_cost : float; (** modelled seconds per plan computation *)
+  plan_residue_cost : float; (** additional modelled seconds per residue *)
+}
+
+(** 256 entries, batches of 16 or 200 us, 4 modelled workers, 5 us hits,
+    200 us + 20 us/residue plans. *)
+val default_config : config
+
+type t
+
+(** [create ?config ?pool ~graph ()] — [pool] routes batch computation to a
+    private domain pool instead of the shared one (bench isolation). *)
+val create : ?config:config -> ?pool:Util.Pool.t -> graph:Graph.t -> unit -> t
+
+(** Mark a link failed / repaired and bump the cache epoch.  Used directly
+    for set-up; during a run prefer the [failures] schedule. *)
+val fail_link : t -> Graph.link_id -> unit
+
+val repair_link : t -> Graph.link_id -> unit
+
+(** What one request experienced; [report.records] holds them in sequence
+    order for timeline bucketing. *)
+type record = {
+  arrival : float;
+  completion : float;
+  outcome : Event.outcome; (** how the cache lookup resolved *)
+  ok : bool; (** false: unroutable under the topology it was planned on *)
+}
+
+type report = {
+  requests : int;
+  unroutable : int;
+  makespan : float; (** virtual time of the last completion *)
+  virtual_rps : float; (** requests / makespan *)
+  mean_latency : float; (** seconds; 0 when no requests *)
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  cache : Cache.stats;
+  hit_ratio : float;
+  batches : int;
+  planned : int; (** plans actually computed *)
+  coalesced : int; (** requests that shared another request's plan *)
+  max_batch : int;
+  stale_completions : int; (** plans that outlived their epoch in flight *)
+  max_depth : int; (** max distinct keys queued + in flight *)
+  max_waiting : int; (** max requests pending a plan *)
+  records : record array;
+}
+
+(** [run t ?sink ?failures requests] serves the whole workload to
+    completion and reports.  [failures] is a schedule of topology events
+    [(time, `Fail l | `Repair l)]; each bumps the epoch and is announced on
+    [sink].  Single-shot: a server instance runs one workload. *)
+val run :
+  t ->
+  ?sink:(Event.t -> unit) ->
+  ?failures:(float * [ `Fail of Graph.link_id | `Repair of Graph.link_id ]) list ->
+  Workload.request array ->
+  report

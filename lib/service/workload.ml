@@ -1,0 +1,99 @@
+module Graph = Topo.Graph
+module Prng = Util.Prng
+
+type request = {
+  seq : int;
+  arrival : float;
+  src : Graph.node;
+  dst : Graph.node;
+  level : Kar.Controller.level;
+  policy : Kar.Policy.t;
+}
+
+type spec = {
+  n : int;
+  rate : float;
+  skew : float;
+  levels : Kar.Controller.level array;
+  policies : Kar.Policy.t array;
+  seed : int;
+}
+
+let default =
+  {
+    n = 10_000;
+    rate = 2_000.0;
+    skew = 0.9;
+    levels = [| Kar.Controller.Unprotected; Kar.Controller.Partial; Kar.Controller.Full |];
+    policies = [| Kar.Policy.Not_input_port |];
+    seed = 1;
+  }
+
+let pairs g ~seed =
+  let edges = Graph.edge_nodes g in
+  if List.length edges < 2 then
+    invalid_arg "Workload.pairs: graph needs at least two edge nodes";
+  let all =
+    List.concat_map
+      (fun s -> List.filter_map (fun d -> if s = d then None else Some (s, d)) edges)
+      edges
+    |> Array.of_list
+  in
+  (* Decouple popularity rank from node numbering: the Zipf head should be
+     an arbitrary working set, not "whatever the builder added first". *)
+  Prng.shuffle (Prng.create (Int64.of_int (seed * 2654435761 + 97))) all;
+  all
+
+(* Cumulative Zipf weights over ranks 1..k; sampling is a binary search for
+   the first cumulative weight exceeding the draw. *)
+let zipf_cumulative ~skew k =
+  let cum = Array.make k 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to k - 1 do
+    acc := !acc +. (1.0 /. (float_of_int (i + 1) ** skew));
+    cum.(i) <- !acc
+  done;
+  cum
+
+let sample_rank cum u =
+  let total = cum.(Array.length cum - 1) in
+  let x = u *. total in
+  let lo = ref 0 and hi = ref (Array.length cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cum.(mid) > x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let generate g spec =
+  if spec.n < 0 then invalid_arg "Workload.generate: negative n";
+  if spec.rate <= 0.0 then invalid_arg "Workload.generate: rate must be positive";
+  if spec.skew < 0.0 then invalid_arg "Workload.generate: negative skew";
+  if Array.length spec.levels = 0 then
+    invalid_arg "Workload.generate: empty level set";
+  if Array.length spec.policies = 0 then
+    invalid_arg "Workload.generate: empty policy set";
+  let universe = pairs g ~seed:spec.seed in
+  let cum = zipf_cumulative ~skew:spec.skew (Array.length universe) in
+  (* One independent stream per decision dimension, split before any draw,
+     so adding a dimension never perturbs the others. *)
+  let streams = Prng.split_n (Prng.of_int spec.seed) 4 in
+  let arrivals = streams.(0)
+  and pair_rng = streams.(1)
+  and level_rng = streams.(2)
+  and policy_rng = streams.(3) in
+  let t = ref 0.0 in
+  Array.init spec.n (fun seq ->
+      let dt = Prng.exponential arrivals ~mean:(1.0 /. spec.rate) in
+      (* strictly increasing arrivals keep the engine's FIFO tie-break out
+         of the picture entirely *)
+      t := !t +. Stdlib.max dt 1e-12;
+      let src, dst = universe.(sample_rank cum (Prng.float pair_rng)) in
+      {
+        seq;
+        arrival = !t;
+        src;
+        dst;
+        level = Prng.choice level_rng spec.levels;
+        policy = Prng.choice policy_rng spec.policies;
+      })

@@ -1,0 +1,49 @@
+(** Deterministic open-loop request generator for the serving control plane.
+
+    An online route-plan server is driven by {e open-loop} load: requests
+    arrive on a Poisson process whose rate does not react to service latency
+    (the regime production front-ends see, and the one under which queueing
+    delay actually shows).  Popularity over (src, dst) edge pairs is
+    Zipf-skewed — a small working set dominates, which is what makes a
+    bounded plan cache worth having and an epoch invalidation measurable.
+
+    The whole request sequence is materialised {e before} serving starts,
+    from {!Util.Prng} streams split off one seed, so a workload is a pure
+    function of [(graph, spec)]: byte-identical at any pool width, and
+    replayable against any server configuration. *)
+
+module Graph = Topo.Graph
+
+type request = {
+  seq : int; (** 0-based position in the generated sequence *)
+  arrival : float; (** absolute virtual arrival time, seconds *)
+  src : Graph.node; (** source edge node *)
+  dst : Graph.node; (** destination edge node, distinct from [src] *)
+  level : Kar.Controller.level; (** requested protection level *)
+  policy : Kar.Policy.t; (** requested deflection policy *)
+}
+
+type spec = {
+  n : int; (** number of requests *)
+  rate : float; (** mean arrival rate, requests per second *)
+  skew : float;
+      (** Zipf exponent over pair popularity ranks; [0.0] is uniform *)
+  levels : Kar.Controller.level array; (** drawn uniformly per request *)
+  policies : Kar.Policy.t array; (** drawn uniformly per request *)
+  seed : int;
+}
+
+(** 10 k requests at 2 000 req/s, skew 0.9, all three protection levels,
+    NIP only, seed 1. *)
+val default : spec
+
+(** [pairs g ~seed] is the ranked (src, dst) universe the generator draws
+    from: every ordered pair of distinct edge nodes, in a seed-determined
+    popularity order (rank is decoupled from node numbering so the popular
+    keys are not systematically the low-labelled ones).
+    @raise Invalid_argument when [g] has fewer than two edge nodes. *)
+val pairs : Graph.t -> seed:int -> (Graph.node * Graph.node) array
+
+(** [generate g spec] materialises the request sequence; arrivals are
+    strictly increasing. *)
+val generate : Graph.t -> spec -> request array

@@ -64,6 +64,21 @@ let percentile p xs =
     (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
   end
 
+let percentile_nearest_rank p xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile_nearest_rank: empty";
+  if p <= 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile_nearest_rank: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  (* nearest rank: the ceil(p/100 * n)-th smallest sample (1-based) *)
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let p50 xs = percentile_nearest_rank 50.0 xs
+let p95 xs = percentile_nearest_rank 95.0 xs
+let p99 xs = percentile_nearest_rank 99.0 xs
+
 let histogram ~bins ~lo ~hi xs =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
   if hi <= lo then invalid_arg "Stats.histogram: hi must exceed lo";

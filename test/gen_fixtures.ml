@@ -22,4 +22,12 @@ let () =
     Printf.printf "wrote %s (%d events)\n" path (List.length events)
   in
   write "fig1_nip_partial.jsonl" (Experiments.Invariants.canonical_trace `Fig1);
-  write "net15_nip_full.jsonl" (Experiments.Invariants.canonical_trace `Net15)
+  write "net15_nip_full.jsonl" (Experiments.Invariants.canonical_trace `Net15);
+  (* the serving-layer fixture is already rendered JSONL *)
+  let path = Filename.concat dir "service_1k.jsonl" in
+  let oc = open_out path in
+  let contents = Experiments.Service.canonical_trace () in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s (%d lines)\n" path
+    (String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 contents)

@@ -574,10 +574,43 @@ let test_reencode_cache () =
   let r2 = Kar.Controller.reencode cache ~at:sc.Nets.ingress ~dst:sc.Nets.egress in
   Alcotest.(check bool) "some route" true (r1 <> None);
   Alcotest.(check bool) "memoised identical" true (r1 = r2);
-  (* a route to itself is degenerate *)
-  Alcotest.(check bool) "self" true
-    (Kar.Controller.reencode cache ~at:sc.Nets.ingress ~dst:sc.Nets.ingress <> None
-     || true)
+  (* the counter proves the second call reused the plan *)
+  Alcotest.(check int) "one plan computed" 1 (Kar.Controller.plans_computed cache);
+  let _ = Kar.Controller.reencode cache ~at:sc.Nets.egress ~dst:sc.Nets.ingress in
+  Alcotest.(check int) "direction is part of the key" 2
+    (Kar.Controller.plans_computed cache)
+
+(* A stranded packet already at its destination edge has no route to plan:
+   re-encode answers None (the edge delivers locally) rather than raising. *)
+let test_reencode_at_destination () =
+  let sc = Nets.net15 in
+  let cache = Kar.Controller.create_cache sc.Nets.graph in
+  Alcotest.(check bool) "self is None" true
+    (Kar.Controller.reencode cache ~at:sc.Nets.egress ~dst:sc.Nets.egress = None);
+  Alcotest.(check int) "failure was computed once" 1
+    (Kar.Controller.plans_computed cache);
+  (* and the failure is negative-cached, not recomputed *)
+  Alcotest.(check bool) "still None" true
+    (Kar.Controller.reencode cache ~at:sc.Nets.egress ~dst:sc.Nets.egress = None);
+  Alcotest.(check int) "negative-cached" 1 (Kar.Controller.plans_computed cache)
+
+(* An edge node with no links at all: unreachable destination -> None,
+   negative-cached like any other failed plan. *)
+let test_reencode_unreachable () =
+  let b = Graph.Builder.create () in
+  let c2 = Graph.Builder.add_node b ~kind:Graph.Core 2 in
+  let c3 = Graph.Builder.add_node b ~kind:Graph.Core 3 in
+  let e0 = Graph.Builder.add_node b ~kind:Graph.Edge 1000 in
+  let island = Graph.Builder.add_node b ~kind:Graph.Edge 1001 in
+  let _ = Graph.Builder.add_link b e0 c2 in
+  let _ = Graph.Builder.add_link b c2 c3 in
+  let g = Graph.Builder.finish b in
+  let cache = Kar.Controller.create_cache g in
+  Alcotest.(check bool) "unreachable is None" true
+    (Kar.Controller.reencode cache ~at:e0 ~dst:island = None);
+  Alcotest.(check bool) "still None on retry" true
+    (Kar.Controller.reencode cache ~at:e0 ~dst:island = None);
+  Alcotest.(check int) "planned once" 1 (Kar.Controller.plans_computed cache)
 
 let test_disjoint_plans () =
   let sc = Nets.net15 in
@@ -890,6 +923,9 @@ let () =
           Alcotest.test_case "all scenario plans verify" `Quick test_scenario_plans_verify;
           Alcotest.test_case "reverse plan edge-disjoint" `Quick test_reverse_plan_edge_disjoint;
           Alcotest.test_case "re-encode cache" `Quick test_reencode_cache;
+          Alcotest.test_case "re-encode at destination" `Quick
+            test_reencode_at_destination;
+          Alcotest.test_case "re-encode unreachable" `Quick test_reencode_unreachable;
           Alcotest.test_case "route follows shortest path" `Quick
             test_controller_route_follows_shortest;
           Alcotest.test_case "disjoint plans" `Quick test_disjoint_plans;
