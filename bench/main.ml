@@ -156,7 +156,13 @@ let tests =
     (* shortest path on the RNP graph *)
     Test.make ~name:"topo/bfs-rnp"
       (Staged.stage (fun () ->
-           Topo.Paths.bfs rnp.Topo.Nets.graph rnp.Topo.Nets.ingress))
+           Topo.Paths.bfs rnp.Topo.Nets.graph rnp.Topo.Nets.ingress));
+    (* plan compiler: lowering one (plan, policy) pair into per-switch
+       match-action tables for every core switch of net15 *)
+    Test.make ~name:"verify/compile-net15-plan"
+      (Staged.stage (fun () ->
+           Kar_verify.Compiler.compile net15.Topo.Nets.graph ~plan:plan_full
+             ~policy:Kar.Policy.Not_input_port))
   ]
 
 let run_benchmarks ~quota () =
@@ -339,6 +345,48 @@ let svc_entries () =
     ("svc/hit-ratio", report.Kar_service.Server.hit_ratio);
   ]
 
+(* --- resilience-verifier benchmarks ---
+
+   [verify/failure-sets-per-sec-jN] sweeps one prepared net15 instance
+   (ingress->egress, full protection, NIP) over every failure set of up to
+   2 core links on a private pool of N jobs.  The j1 number is the
+   verifier's serial throughput (gated, higher is better); j4 is a
+   machine-shape observation.  The compile cost itself is the bechamel
+   kernel [verify/compile-net15-plan]. *)
+
+let verify_entries () =
+  let sc = Topo.Nets.net15 in
+  let g = sc.Topo.Nets.graph in
+  let inst =
+    Experiments.Verify.instance_for g ~src:sc.Topo.Nets.ingress
+      ~dst:sc.Topo.Nets.egress ~policy:Kar.Policy.Not_input_port
+  in
+  let links = Experiments.Verify.core_links g in
+  let sets =
+    Array.of_list
+      (Experiments.Verify.failure_sets links ~k:1
+      @ Experiments.Verify.failure_sets links ~k:2)
+  in
+  let sweep_rate ~jobs =
+    let p = Util.Pool.create ~jobs in
+    let one () =
+      ignore
+        (Util.Pool.map p sets ~f:(fun ~idx:_ failed ->
+             Kar_verify.Verifier.verify inst ~failed))
+    in
+    one () (* warm *);
+    let reps = 5 in
+    let s = wall (fun () -> for _ = 1 to reps do one () done) in
+    Util.Pool.shutdown p;
+    float_of_int (reps * Array.length sets) /. s
+  in
+  let j1 = sweep_rate ~jobs:1 in
+  let j4 = sweep_rate ~jobs:4 in
+  [
+    ("verify/failure-sets-per-sec-j1", j1);
+    ("verify/failure-sets-per-sec-j4", j4);
+  ]
+
 (* --- machine-readable output (a flat {"key": number} JSON object) --- *)
 
 let json_escape name =
@@ -417,7 +465,8 @@ let parse_json file =
   done;
   List.rev !entries
 
-let higher_is_better key = key = "netsim/packets-per-sec"
+let higher_is_better key =
+  key = "netsim/packets-per-sec" || key = "verify/failure-sets-per-sec-j1"
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix
@@ -447,6 +496,10 @@ let check_entry (key, baseline) fresh =
               key now cores)
        | _ -> None)
     else if starts_with ~prefix:"pool/" key then None
+    else if key = "verify/failure-sets-per-sec-j4" then
+      (* machine-shape wall-clock (depends on core count); the serial j1
+         throughput is the gated number *)
+      None
     else if key = "svc/speedup-j4" then
       (* Sanity ratio, not a scaling target: service batches average ~2
          keys, so j4 buys little — but on a >= 4-core host it must not be
@@ -495,11 +548,13 @@ let measure_all ~quota ~packets =
   List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) pool;
   let svc = svc_entries () in
   List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) svc;
+  let verify = verify_entries () in
+  List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) verify;
   print_newline ();
   kernels
   @ [ ("netsim/packets-per-sec", pps);
       ("gc/forward-minor-words-per-packet", words) ]
-  @ pool @ svc
+  @ pool @ svc @ verify
 
 let run_experiments () =
   let profile = Experiments.Profile.from_env () in

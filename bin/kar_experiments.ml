@@ -1,113 +1,33 @@
 (* Command-line entry point: regenerate any of the paper's tables and
-   figures, or the ablations, by name. *)
+   figures, or the ablations, by name.  The catalogue itself (ids, groups,
+   aliases, typo suggestions) lives in Experiments.Registry. *)
 
-(* Experiments grouped by category; --list prints the groups, everything
-   else (lookup, nearest-match suggestions, run-all order) works on the
-   flattened list. *)
-let categories : (string * (string * string * (Experiments.Profile.t -> string)) list) list =
-  [
-    ( "Figures",
-      [
-        ("fig1", "Section 2 worked example (route IDs 44 and 660)",
-         fun _ -> Experiments.Fig1.to_string ());
-        ("fig4", "Fig. 4: goodput timeline across a failure, per policy",
-         fun p -> Experiments.Fig4.to_string ~profile:p ());
-        ("fig5", "Fig. 5: goodput vs failure x protection x technique",
-         fun p -> Experiments.Fig5.to_string ~profile:p ());
-        ("fig7", "Fig. 7: RNP backbone failures under NIP + partial protection",
-         fun p -> Experiments.Fig7.to_string ~profile:p ());
-        ("fig8", "Fig. 8: redundant-path worst case",
-         fun p -> Experiments.Fig8.to_string ~profile:p ());
-      ] );
-    ( "Tables",
-      [
-        ("table1", "Table 1: route-ID bit lengths per protection level",
-         fun _ -> Experiments.Table1.to_string ());
-        ("table2", "Table 2: design-space comparison with measured evidence",
-         fun _ -> Experiments.Table2.to_string ());
-      ] );
-    ( "Ablations",
-      [
-        ("hops", "Ablation: exact vs Monte-Carlo walk metrics per policy",
-         fun _ -> Experiments.Ablations.policy_hops_table ());
-        ("ids", "Ablation: switch-ID assignment strategies",
-         fun _ -> Experiments.Ablations.ids_table ());
-        ("budget", "Ablation: protection bit budget vs delivery",
-         fun _ -> Experiments.Ablations.budget_table ());
-        ("planner", "Ablation: distance-ordered vs analysis-guided protection",
-         fun _ -> Experiments.Ablations.planner_table ());
-        ("cc", "Ablation: Reno vs CUBIC under deflection",
-         fun p -> Experiments.Ablations.cc_table ~profile:p ());
-        ("delivery", "Ablation: UDP delivery ratio per policy",
-         fun p -> Experiments.Ablations.delivery_table ~profile:p ());
-      ] );
-    ( "Beyond the paper",
-      [
-        ("schemes", "Beyond the paper: reaction-scheme comparison",
-         fun p -> Experiments.Reaction.compare_to_string ~profile:p ());
-        ("detection", "Beyond the paper: failure-detection sensitivity",
-         fun p -> Experiments.Reaction.detection_to_string ~profile:p ());
-        ("bystander", "Beyond the paper: interference with bystander traffic",
-         fun p -> Experiments.Congestion.to_string ~profile:p ());
-        ("scaling", "Beyond the paper: route-ID bits vs network size",
-         fun _ -> Experiments.Scaling.to_string ());
-        ("multipath", "Beyond the paper: multipath header cost",
-         fun _ -> Experiments.Scaling.multipath_to_string ());
-        ("multifail", "Beyond the paper: simultaneous multiple failures",
-         fun _ -> Experiments.Multifailure.to_string ());
-        ("invariants", "Trace-checked invariants over every single core-link failure",
-         fun _ -> Experiments.Invariants.to_string ());
-      ] );
-    ( "Service",
-      [
-        ("svc", "Online plan server: steady state, skew sweep, replan storm",
-         fun p -> Experiments.Service.to_string ~profile:p ());
-      ] );
-  ]
+module Registry = Experiments.Registry
 
-let experiments : (string * string * (Experiments.Profile.t -> string)) list =
-  List.concat_map snd categories
-
-(* Classic two-row Levenshtein, for suggesting the closest experiment id
-   on a typo. *)
-let edit_distance a b =
-  let la = String.length a and lb = String.length b in
-  let prev = Array.init (lb + 1) (fun j -> j) in
-  let curr = Array.make (lb + 1) 0 in
-  for i = 1 to la do
-    curr.(0) <- i;
-    for j = 1 to lb do
-      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
-      curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
-    done;
-    Array.blit curr 0 prev 0 (lb + 1)
-  done;
-  prev.(lb)
-
-let nearest_experiment name =
-  List.fold_left
-    (fun (best, d) (candidate, _, _) ->
-      let d' = edit_distance name candidate in
-      if d' < d then (candidate, d') else (best, d))
-    ("", max_int) experiments
+let run_entry profile (en : Registry.entry) =
+  print_string (en.Registry.run profile);
+  print_newline ()
 
 let run_one profile name =
-  match List.find_opt (fun (n, _, _) -> n = name) experiments with
-  | None ->
-    let nearest, d = nearest_experiment name in
+  match Registry.find name with
+  | `Entry en -> run_entry profile en
+  | `Group g -> List.iter (run_entry profile) g.Registry.entries
+  | `Unknown ->
+    let nearest, d = Registry.nearest name in
     if d <= max 2 (String.length name / 2) then
-      Printf.eprintf "unknown experiment %S; did you mean %S? (--list shows all ids)\n"
+      Printf.eprintf
+        "unknown experiment %S; did you mean %S? (--list shows all ids)\n"
         name nearest
     else Printf.eprintf "unknown experiment %S; --list shows all ids\n" name;
     exit 1
-  | Some (_, _, f) ->
-    print_string (f profile);
-    print_newline ()
 
 open Cmdliner
 
 let names_arg =
-  let doc = "Experiments to run (default: all). Use --list to see ids." in
+  let doc =
+    "Experiments to run (default: all).  A group alias (e.g. \
+     $(b,ablations)) runs the whole group.  Use --list to see ids."
+  in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let list_flag =
@@ -130,6 +50,14 @@ let jobs_arg =
   in
   Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let max_k_arg =
+  let doc =
+    "Cap the exhaustive resilience verifier's failure-set size (the \
+     $(b,verify) experiment) on every topology; 0 keeps the per-topology \
+     defaults (net15 k<=3, rnp28 k<=2)."
+  in
+  Arg.(value & opt int 0 & info [ "max-k" ] ~docv:"K" ~doc)
+
 (* KAR_LOG=info|debug turns on the simulator's log sources (stderr). *)
 let setup_logging () =
   match Sys.getenv_opt "KAR_LOG" with
@@ -144,26 +72,32 @@ let setup_logging () =
     Logs.set_level level
   | None -> ()
 
-let main names list paper jobs =
+let main names list paper jobs max_k =
   setup_logging ();
   if list then
     List.iter
-      (fun (category, entries) ->
-        Printf.printf "%s:\n" category;
-        List.iter (fun (n, d, _) -> Printf.printf "  %-10s %s\n" n d) entries)
-      categories
+      (fun (g : Registry.group) ->
+        Printf.printf "%s (alias: %s):\n" g.Registry.name g.Registry.alias;
+        List.iter
+          (fun (en : Registry.entry) ->
+            Printf.printf "  %-10s %s\n" en.Registry.id en.Registry.doc)
+          g.Registry.entries)
+      Registry.groups
   else begin
     Util.Pool.set_jobs (if jobs > 0 then jobs else Util.Pool.default_jobs ());
+    if max_k > 0 then Experiments.Verify.max_k_override := Some max_k;
     let profile =
       if paper then Experiments.Profile.paper else Experiments.Profile.from_env ()
     in
-    let to_run = match names with [] -> List.map (fun (n, _, _) -> n) experiments | _ -> names in
-    List.iter (run_one profile) to_run
+    match names with
+    | [] -> List.iter (run_entry profile) Registry.all
+    | names -> List.iter (run_one profile) names
   end
 
 let cmd =
   let doc = "Regenerate the KAR paper's tables and figures" in
   let info = Cmd.info "kar_experiments" ~doc in
-  Cmd.v info Term.(const main $ names_arg $ list_flag $ paper_flag $ jobs_arg)
+  Cmd.v info
+    Term.(const main $ names_arg $ list_flag $ paper_flag $ jobs_arg $ max_k_arg)
 
 let () = exit (Cmd.eval cmd)

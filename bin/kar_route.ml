@@ -156,6 +156,64 @@ let load_topo path =
   | Ok g -> Ok g
   | Error e -> Error (Format.asprintf "%s: %a" path Topo.Serial.pp_error e)
 
+(* Exhaustive resilience check of one planned route: every failure set of
+   up to max_k core links, deflection draws as adversarial choice. *)
+let verify_plan g ~plan ~policy ~src ~dst ~max_k =
+  let module V = Kar_verify.Verifier in
+  let inst = V.prepare g ~plan ~policy ~src ~dst () in
+  let links = Experiments.Verify.core_links g in
+  for k = 1 to max_k do
+    let sets = Experiments.Verify.failure_sets links ~k in
+    let counts = Hashtbl.create 8 in
+    let first_refuted = ref None in
+    List.iter
+      (fun failed ->
+        let cls, _ = V.verify inst ~failed in
+        Hashtbl.replace counts cls
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts cls));
+        if !first_refuted = None && cls <> V.Guaranteed && cls <> V.Disconnected
+        then first_refuted := Some (failed, cls))
+      sets;
+    let cells =
+      List.filter_map
+        (fun cls ->
+          match Hashtbl.find_opt counts cls with
+          | Some n ->
+            Some (Printf.sprintf "%s=%d" (V.classification_to_string cls) n)
+          | None -> None)
+        V.all_classifications
+    in
+    Printf.printf "  k=%d (%d failure sets): %s\n" k (List.length sets)
+      (String.concat " " cells);
+    match !first_refuted with
+    | None -> ()
+    | Some (failed, cls) ->
+      let names =
+        List.map
+          (fun id ->
+            let l = Topo.Graph.link g id in
+            Printf.sprintf "SW%d-SW%d"
+              (Topo.Graph.label g l.Topo.Graph.ep0.Topo.Graph.node)
+              (Topo.Graph.label g l.Topo.Graph.ep1.Topo.Graph.node))
+          failed
+      in
+      (match V.refute inst ~failed with
+       | Some r, init_stranded ->
+         let violations =
+           Kar_verify.Counterexample.check inst r ~init_stranded
+         in
+         let ok =
+           Kar_verify.Counterexample.well_formed violations
+           && Kar_verify.Counterexample.refutes violations
+         in
+         Printf.printf
+           "    first refutation [%s] failed={%s}: machine check %s\n"
+           (V.classification_to_string cls)
+           (String.concat "," names)
+           (if ok then "OK" else "FAILED")
+       | None, _ -> ())
+  done
+
 let plan_cmd =
   let src =
     Arg.(required & opt (some int) None & info [ "src" ] ~docv:"LABEL" ~doc:"Source edge label.")
@@ -166,7 +224,33 @@ let plan_cmd =
   let disjoint =
     Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Edge-disjoint plans to compute.")
   in
-  let run topo src dst k =
+  let verify_flag =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Exhaustively verify each printed plan against every failure \
+             set of up to $(b,--max-k) core links (deflection draws as \
+             adversarial choice) and report the verdict classes.")
+  in
+  let max_k =
+    Arg.(
+      value & opt int 1
+      & info [ "max-k" ] ~docv:"K"
+          ~doc:"Largest failure-set size for --verify (default 1).")
+  in
+  let policy =
+    let policy_conv =
+      Arg.enum
+        (List.map (fun p -> (Kar.Policy.to_string p, p)) Kar.Policy.all)
+    in
+    Arg.(
+      value
+      & opt policy_conv Kar.Policy.Not_input_port
+      & info [ "policy" ] ~docv:"P"
+          ~doc:"Deflection policy for --verify: none | hp | avp | nip.")
+  in
+  let run topo src dst k verify max_k policy =
     match load_topo topo with
     | Error m -> `Error (false, m)
     | Ok g ->
@@ -183,7 +267,9 @@ let plan_cmd =
                  (String.concat "->"
                     (List.map
                        (fun v -> string_of_int (Topo.Graph.label g v))
-                       plan.Kar.Route.core_path)))
+                       plan.Kar.Route.core_path));
+               if verify then
+                 verify_plan g ~plan ~policy ~src:s ~dst:d ~max_k)
              plans;
            `Ok ()
          end
@@ -191,7 +277,10 @@ let plan_cmd =
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Plan route IDs between two edge nodes of a topology")
-    Term.(ret (const run $ topo_arg $ src $ dst $ disjoint))
+    Term.(
+      ret
+        (const run $ topo_arg $ src $ dst $ disjoint $ verify_flag $ max_k
+       $ policy))
 
 let ids_cmd =
   let strategy =

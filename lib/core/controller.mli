@@ -44,6 +44,17 @@ val route :
   ?usable:(Graph.link -> bool) ->
   Graph.t -> src:Graph.node -> dst:Graph.node -> protection:(int * int) list -> Route.plan
 
+(** [protected_route g ~src ~dst ~level] plans a shortest-path route and
+    folds in protection computed uniformly for the pair (rather than the
+    hand-pinned scenario hops): a shortest-path tree rooted at the egress
+    core switch over the off-path members the level selects — radius-1
+    neighbours of the path for [Partial], every off-path core switch in
+    the component for [Full].  This is the planner the resilience
+    verifier sweeps across all edge pairs.
+    @raise Invalid_argument when no path exists or encoding fails. *)
+val protected_route :
+  Graph.t -> src:Graph.node -> dst:Graph.node -> level:level -> Route.plan
+
 (** [disjoint_plans g ~src ~dst ~k] plans up to [k] mutually edge-disjoint
     routes between two edge nodes (greedy shortest-path extraction), each
     encoded as its own route ID.  This is the substrate for 1+1 ingress

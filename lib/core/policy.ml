@@ -91,6 +91,52 @@ let decide policy ~computed:c ~in_port ~deflected ~ports rng =
       | port -> code ~port ~deflected:true
     end
 
+(* The symbolic mirror of [decide]: instead of drawing one candidate, name
+   the full decision — the computed port taken deterministically, the exact
+   candidate set a deflection draw ranges over, or a dead end.  The plan
+   compiler ([Kar_verify.Compiler]) lowers switches through this, and the
+   differential test in test_verify pins it draw-for-draw to [decide]:
+   [Take p] iff [decide] returns [p] with the flag preserved, [Pick m] iff
+   [decide] returns a member of [m] with the flag set, [Stuck] iff [decide]
+   drops. *)
+type choice =
+  | Take of int
+  | Pick of int
+  | Stuck
+
+let healthy_mask ~degree ~up ~exclude =
+  let rec go p acc =
+    if p >= degree then acc
+    else go (p + 1) (if up p && p <> exclude then acc lor (1 lsl p) else acc)
+  in
+  go 0 0
+
+let enumerate policy ~computed:c ~in_port ~deflected ~degree ~up =
+  let computed_usable = c >= 0 && c < degree && up c in
+  let pick_or_stuck mask = if mask = 0 then Stuck else Pick mask in
+  match policy with
+  | No_deflection -> if computed_usable then Take c else Stuck
+  | Hot_potato ->
+    if deflected then pick_or_stuck (healthy_mask ~degree ~up ~exclude:(-1))
+    else if computed_usable then Take c
+    else pick_or_stuck (healthy_mask ~degree ~up ~exclude:(-1))
+  | Any_valid_port ->
+    if computed_usable then Take c
+    else pick_or_stuck (healthy_mask ~degree ~up ~exclude:(-1))
+  | Not_input_port ->
+    if computed_usable && c <> in_port then Take c
+    else begin
+      match healthy_mask ~degree ~up ~exclude:in_port with
+      | 0 ->
+        (* Degree-one dead end: [decide] bounces the packet back through
+           its input port when that port is up — a forced singleton
+           choice, not a computed forward. *)
+        if in_port >= 0 && in_port < degree && up in_port then
+          Pick (1 lsl in_port)
+        else Stuck
+      | mask -> Pick mask
+    end
+
 (* Could [forward] have returned [port] via the modulo computation rather
    than a random draw?  Decidable after the fact because every random draw
    is constrained: HP random-walks deflected packets regardless of the

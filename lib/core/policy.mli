@@ -89,6 +89,40 @@ val decide :
 val code_port : int -> int
 val code_deflected : int -> bool
 
+(** {2 Symbolic decisions}
+
+    The plan compiler ({!Kar_verify.Compiler}) needs the forwarding
+    decision as a {e set}, not a sample: which port is taken
+    deterministically, or exactly which candidates a deflection draw
+    ranges over.  [enumerate] is that mirror of {!decide}; the
+    differential test suite pins the two together for every policy, mask,
+    input port and deflected flag. *)
+type choice =
+  | Take of int
+      (** the computed port, taken deterministically; the deflected flag
+          is preserved *)
+  | Pick of int
+      (** a uniform draw over the ports in this bitmask (bit [p] = port
+          [p]); the packet's deflected flag becomes [true].  Includes
+          NIP's forced bounce through the input port as the singleton
+          case. *)
+  | Stuck  (** no usable port: {!decide} drops *)
+
+(** [enumerate policy ~computed ~in_port ~deflected ~degree ~up] is the
+    symbolic forwarding decision at a switch of [degree] ports whose
+    liveness is [up].  Agrees with {!decide} pointwise: [Take p] iff
+    [decide] returns [p] without consulting the PRNG, [Pick m] iff
+    [decide]'s result is a uniform draw over exactly the ports in [m],
+    [Stuck] iff [decide] drops. *)
+val enumerate :
+  t ->
+  computed:int ->
+  in_port:int ->
+  deflected:bool ->
+  degree:int ->
+  up:(int -> bool) ->
+  choice
+
 (** [computed_port ~switch_id ~route_id] is the raw modulo result
     [<R>_s] (which may not name an existing port), via the remainder-only
     kernel {!Bignum.Z.rem_int}. *)

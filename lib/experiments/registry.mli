@@ -1,0 +1,37 @@
+(** The experiment catalogue: every runnable experiment by id, grouped for
+    display, plus the name-resolution used by the [kar_experiments] CLI.
+
+    Groups carry a lowercase [alias] that is itself runnable
+    ([kar_experiments ablations] runs the whole group), and the
+    typo-suggestion machinery ({!nearest}) searches ids {e and} aliases so
+    a near-miss on either gets a useful hint. *)
+
+type entry = {
+  id : string;
+  doc : string;
+  run : Profile.t -> string;
+}
+
+type group = {
+  name : string;  (** display name, e.g. "Beyond the paper" *)
+  alias : string;  (** runnable lowercase alias, e.g. "beyond" *)
+  entries : entry list;
+}
+
+val groups : group list
+
+(** All entries in display order — the run-all order. *)
+val all : entry list
+
+(** Resolve a CLI name: an experiment id, a group alias, or unknown. *)
+val find : string -> [ `Entry of entry | `Group of group | `Unknown ]
+
+(** Every runnable name (ids then aliases). *)
+val names : string list
+
+(** [nearest name] is the runnable name with the smallest edit distance,
+    and that distance. *)
+val nearest : string -> string * int
+
+(** Two-row Levenshtein distance (exposed for tests). *)
+val edit_distance : string -> string -> int

@@ -1,0 +1,41 @@
+(** Counterexample traces: a {!Verifier.refutation} replayed into the
+    flight-recorder {!Trace} format and machine-checked by the same
+    invariant checker that audits live engine runs.
+
+    The synthesized events mirror the Karnet recorder shapes exactly
+    (hop-bump accounting, Reencode at the stranding edge with in=-1 and
+    out=0, TTL deaths recording a ttl field of -1), so a refutation trace
+    is indistinguishable in format from an engine trace and flows through
+    the same tooling — including the golden-fixture diffing. *)
+
+(** [events inst r ~init_stranded] renders the refutation as a complete
+    single-packet trace (uid 0): Inject, one decision event per hop —
+    loops unrolled until the TTL kills the run — any Reencode events, and
+    the terminal Drop.  [init_stranded] is the second component of
+    {!Verifier.refute}'s result. *)
+val events :
+  Verifier.instance ->
+  Verifier.refutation ->
+  init_stranded:int ->
+  Trace.Event.t list
+
+(** [check inst r ~init_stranded] runs {!Trace.Invariant.check} with
+    [~expect_delivery:true] over the synthesized trace.  A correct
+    refutation yields a [delivery] violation (and, for driven loops, a
+    [driven-loop] one) but must stay structurally clean — see
+    {!well_formed}. *)
+val check :
+  Verifier.instance ->
+  Verifier.refutation ->
+  init_stranded:int ->
+  Trace.Invariant.violation list
+
+(** No [conservation], [ttl] or [fifo] violations: the synthesized trace
+    is a well-formed packet history.  ([driven-loop] is allowed — an
+    adversarial driven loop is a legitimate refutation, not a malformed
+    trace.) *)
+val well_formed : Trace.Invariant.violation list -> bool
+
+(** At least one [delivery] violation: the trace actually witnesses a
+    packet that was never delivered. *)
+val refutes : Trace.Invariant.violation list -> bool

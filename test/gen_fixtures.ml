@@ -30,4 +30,15 @@ let () =
   output_string oc contents;
   close_out oc;
   Printf.printf "wrote %s (%d lines)\n" path
-    (String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 contents)
+    (String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 contents);
+  (* the verifier fixture is verdict + counterexample lines, already JSON *)
+  let path = Filename.concat dir "verify_net15_k2.jsonl" in
+  let oc = open_out path in
+  let lines = Experiments.Verify.fixture_lines () in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  Printf.printf "wrote %s (%d lines)\n" path (List.length lines)

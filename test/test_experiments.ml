@@ -261,6 +261,64 @@ let test_fig4_contrast_none_vs_nip () =
     none.Workload.Runner.net_deflections;
   Alcotest.(check bool) "NIP deflects" true (nip.Workload.Runner.net_deflections > 0)
 
+(* --- the experiment registry and its CLI typo suggestions --- *)
+
+let test_registry_resolution () =
+  let module R = Experiments.Registry in
+  (match R.find "verify" with
+  | `Entry e -> Alcotest.(check string) "verify is an entry" "verify" e.R.id
+  | `Group _ | `Unknown -> Alcotest.fail "verify must resolve to an entry");
+  (match R.find "verification" with
+  | `Group g ->
+    Alcotest.(check bool) "verification group carries verify" true
+      (List.exists (fun (e : R.entry) -> e.R.id = "verify") g.R.entries);
+    Alcotest.(check bool) "verification group carries invariants" true
+      (List.exists (fun (e : R.entry) -> e.R.id = "invariants") g.R.entries)
+  | `Entry _ | `Unknown ->
+    Alcotest.fail "verification must resolve to a group");
+  (match R.find "no-such-experiment" with
+  | `Unknown -> ()
+  | `Entry _ | `Group _ -> Alcotest.fail "nonsense name resolved");
+  Alcotest.(check bool) "aliases are runnable names" true
+    (List.mem "verification" R.names && List.mem "beyond" R.names);
+  (* every id and alias resolves, and ids stay unique *)
+  List.iter
+    (fun n ->
+      match R.find n with
+      | `Unknown -> Alcotest.failf "registered name %s does not resolve" n
+      | `Entry _ | `Group _ -> ())
+    R.names;
+  let ids = List.map (fun (e : R.entry) -> e.R.id) R.all in
+  Alcotest.(check int) "ids unique"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+(* Near-misses on group aliases must suggest the alias — the suggestion
+   search covers ids AND aliases (kar_experiments's unknown-id hint). *)
+let test_registry_suggestions () =
+  let module R = Experiments.Registry in
+  List.iter
+    (fun (typo, expect) ->
+      let name, d = R.nearest typo in
+      Alcotest.(check string)
+        (Printf.sprintf "suggestion for %S" typo)
+        expect name;
+      Alcotest.(check bool)
+        (Printf.sprintf "suggestion for %S within CLI threshold" typo)
+        true
+        (d <= max 2 (String.length typo / 2)))
+    [
+      ("verfy", "verify");
+      ("verificaton", "verification");
+      ("abblations", "ablations");
+      ("invarients", "invariants");
+      ("tabels", "tables");
+    ];
+  Alcotest.(check int) "edit distance kitten/sitting" 3
+    (R.edit_distance "kitten" "sitting");
+  Alcotest.(check int) "edit distance identity" 0
+    (R.edit_distance "verify" "verify")
+
 let () =
   Alcotest.run "experiments"
     [
@@ -312,5 +370,11 @@ let () =
         [
           Alcotest.test_case "fig4 contrast none vs nip" `Slow
             test_fig4_contrast_none_vs_nip;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "names resolve" `Quick test_registry_resolution;
+          Alcotest.test_case "typo suggestions cover group aliases" `Quick
+            test_registry_suggestions;
         ] );
     ]
