@@ -6,7 +6,11 @@
 
      kar_sim --topo net.kar --src 1001 --dst 1003 \
              --fail 7:13 --fail-at 3 --fail-for 3 --duration 9 \
-             --policy nip --protect-bits 64 *)
+             --policy nip --protect-bits 64
+
+   Flight records can be written as JSONL or as the compact binary format
+   (--trace-format binary); `kar_sim convert` translates losslessly between
+   the two. *)
 
 open Cmdliner
 module Graph = Topo.Graph
@@ -25,8 +29,37 @@ let link_conv =
   in
   Arg.conv (parse, fun ppf (a, b) -> Format.fprintf ppf "%d:%d" a b)
 
+type trace_format = Jsonl | Binary
+
+let trace_format_conv = Arg.enum [ ("jsonl", Jsonl); ("binary", Binary) ]
+
+let print_stats g net =
+  let ps = Netsim.Net.pool_stats net in
+  Printf.printf
+    "pool: %d hits, %d grows, %d in flight, %d releases\n"
+    ps.Netsim.Packet.Pool.hits ps.Netsim.Packet.Pool.grows
+    ps.Netsim.Packet.Pool.in_flight ps.Netsim.Packet.Pool.releases;
+  List.iter
+    (fun v ->
+      let d = Netsim.Net.deflections_at net v
+      and dr = Netsim.Net.drives_at net v in
+      if d > 0 || dr > 0 then
+        Printf.printf "switch SW%d: %d deflections, %d driven\n"
+          (Graph.label g v) d dr)
+    (Graph.core_nodes g);
+  for id = 0 to Graph.n_links g - 1 do
+    let drops = Netsim.Net.queue_drops_on net id in
+    if drops > 0 then begin
+      let l = Graph.link g id in
+      Printf.printf "link %d (SW%d-SW%d): %d queue drops\n" id
+        (Graph.label g l.Graph.ep0.Graph.node)
+        (Graph.label g l.Graph.ep1.Graph.node)
+        drops
+    end
+  done
+
 let run topo src_label dst_label policy fail fail_at fail_for duration
-    protect_bits seed trace_file check_invariants =
+    protect_bits seed trace_file trace_format stats check_invariants =
   match Topo.Serial.load topo with
   | Error e -> `Error (false, Format.asprintf "%s: %a" topo Topo.Serial.pp_error e)
   | Ok g ->
@@ -51,18 +84,33 @@ let run topo src_label dst_label policy fail fail_at fail_for duration
        (* simulate *)
        let engine = Netsim.Engine.create () in
        let net = Netsim.Net.create ~graph:g ~engine () in
-       (* Flight recorder: on for --trace and/or --check-invariants.  The
-          protected set is the moduli of both plans in the air (data and
-          ACK direction) — the switches whose modulo forward of a deflected
+       (* Flight recorder: on for --trace, --stats and/or
+          --check-invariants (the per-switch tallies --stats prints are
+          only maintained while a recorder is attached).  The protected
+          set is the moduli of both plans in the air (data and ACK
+          direction) — the switches whose modulo forward of a deflected
           packet counts as a driven deflection. *)
-       let trace_oc = Option.map open_out trace_file in
+       let trace_oc =
+         match (trace_file, trace_format) with
+         | Some file, Jsonl -> Some (open_out file)
+         | _ -> None
+       in
+       let binary_writer =
+         match (trace_file, trace_format) with
+         | Some _, Binary -> Some (Trace.Binary.writer ())
+         | _ -> None
+       in
+       let sink =
+         match (trace_oc, binary_writer) with
+         | Some oc, _ -> Some (Trace.Recorder.jsonl_sink oc)
+         | None, Some w -> Some (Trace.Binary.sink w)
+         | None, None -> None
+       in
        let recorder =
-         if trace_oc = None && not check_invariants then None
+         if sink = None && not (check_invariants || stats) then None
          else
            Some
-             (Trace.Recorder.create
-                ?sink:(Option.map Trace.Recorder.jsonl_sink trace_oc)
-                ~capacity:(1 lsl 20)
+             (Trace.Recorder.create ?sink ~capacity:(1 lsl 20)
                 ~protected_switches:
                   (List.map
                      (fun r -> r.Rns.modulus)
@@ -108,7 +156,11 @@ let run topo src_label dst_label policy fail fail_at fail_for duration
          ns.Netsim.Net.deflections ns.Netsim.Net.reencodes
          (ns.Netsim.Net.dropped_link_down + ns.Netsim.Net.dropped_queue_full
         + ns.Netsim.Net.dropped_no_route + ns.Netsim.Net.dropped_ttl);
+       if stats then print_stats g net;
        Option.iter close_out trace_oc;
+       (match (binary_writer, trace_file) with
+        | Some w, Some file -> Trace.Binary.to_file w file
+        | _ -> ());
        (match (recorder, trace_file) with
         | Some r, Some file ->
           Printf.printf "trace: %d events written to %s\n"
@@ -144,7 +196,59 @@ let run topo src_label dst_label policy fail fail_at fail_for duration
      | Some _, Some _ -> `Error (false, "src and dst must be edge nodes")
      | _ -> `Error (false, "unknown src or dst label"))
 
-let cmd =
+(* --- convert: lossless binary <-> JSONL trace translation --- *)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_jsonl s =
+  let lines = String.split_on_char '\n' s in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go (i + 1) acc rest
+      else
+        (match Trace.Event.of_jsonl line with
+         | Ok e -> go (i + 1) (e :: acc) rest
+         | Error msg -> Error (Printf.sprintf "line %d: %s" i msg))
+  in
+  go 1 [] lines
+
+let convert input output to_format =
+  let contents = read_whole_file input in
+  let input_binary = Trace.Binary.is_binary contents in
+  let events =
+    if input_binary then Trace.Binary.decode_string contents
+    else parse_jsonl contents
+  in
+  match events with
+  | Error msg -> `Error (false, Printf.sprintf "%s: %s" input msg)
+  | Ok events ->
+    let target =
+      match to_format with
+      | Some f -> f
+      | None -> if input_binary then Jsonl else Binary
+    in
+    let oc = open_out_bin output in
+    (match target with
+     | Jsonl ->
+       List.iter
+         (fun e ->
+           output_string oc (Trace.Event.to_jsonl e);
+           output_char oc '\n')
+         events
+     | Binary -> output_string oc (Trace.Binary.encode_events events));
+    close_out oc;
+    Printf.printf "%s: %d events -> %s (%s)\n" input (List.length events)
+      output
+      (match target with Jsonl -> "jsonl" | Binary -> "binary");
+    `Ok ()
+
+let sim_term =
   let topo =
     Arg.(required & opt (some file) None & info [ "topo" ] ~docv:"FILE"
            ~doc:"Topology file (Topo.Serial format).")
@@ -183,7 +287,20 @@ let cmd =
   in
   let trace =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Write the packet flight record as JSONL to $(docv).")
+           ~doc:"Write the packet flight record to $(docv).")
+  in
+  let trace_format =
+    Arg.(value & opt trace_format_conv Jsonl
+         & info [ "trace-format" ] ~docv:"FMT"
+             ~doc:"Flight record encoding: $(b,jsonl) (one event per line) \
+                   or $(b,binary) (compact KARB records; convert with \
+                   $(b,kar_sim convert)).")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print buffer-pool hit/grow/in-flight counters, per-switch \
+                 deflection/driven tallies and per-link queue drops after \
+                 the run.")
   in
   let check_invariants =
     Arg.(value & flag & info [ "check-invariants" ]
@@ -192,11 +309,35 @@ let cmd =
                  conservation, TTL monotonicity, per-queue FIFO); exits \
                  non-zero on any violation.")
   in
+  Term.(
+    ret
+      (const run $ topo $ src $ dst $ policy $ fail $ fail_at $ fail_for
+      $ duration $ protect_bits $ seed $ trace $ trace_format $ stats
+      $ check_invariants))
+
+let convert_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT"
+           ~doc:"Trace to convert (format auto-detected by the KARB magic).")
+  in
+  let output =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT"
+           ~doc:"Destination file.")
+  in
+  let to_format =
+    Arg.(value & opt (some trace_format_conv) None & info [ "to" ] ~docv:"FMT"
+           ~doc:"Target encoding ($(b,jsonl) or $(b,binary)); default is \
+                 the opposite of the input's.")
+  in
   Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert a flight record between JSONL and binary losslessly")
+    Term.(ret (const convert $ input $ output $ to_format))
+
+let cmd =
+  Cmd.group
+    ~default:sim_term
     (Cmd.info "kar_sim" ~doc:"Simulate TCP over a KAR network with a link failure")
-    Term.(
-      ret
-        (const run $ topo $ src $ dst $ policy $ fail $ fail_at $ fail_for
-        $ duration $ protect_bits $ seed $ trace $ check_invariants))
+    [ convert_cmd ]
 
 let () = exit (Cmd.eval cmd)

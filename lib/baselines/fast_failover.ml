@@ -52,11 +52,11 @@ let install net =
     (fun v ->
       let handler net _node (packet : Packet.t) ~in_port =
         ignore in_port;
-        packet.Packet.hops <- packet.Packet.hops + 1;
-        if packet.Packet.hops > Net.ttl net then Net.drop net packet Net.Ttl_exceeded
+        Packet.set_hops packet (Packet.hops packet + 1);
+        if Packet.hops packet > Net.ttl net then Net.drop net packet Net.Ttl_exceeded
         else begin
           match
-            List.find_opt (fun (dst, _, _) -> dst = packet.Packet.dst) table.(v)
+            List.find_opt (fun (dst, _, _) -> dst = Packet.dst packet) table.(v)
           with
           | None -> Net.drop net packet Net.No_route
           | Some (_, primary, backup) ->

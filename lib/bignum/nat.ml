@@ -208,6 +208,63 @@ let rem_int a s =
     in
     fold (len - 1) 0
 
+(* --- byte-backed limb views ------------------------------------------
+
+   The flat wire format (Wire.Flat) stores a magnitude as consecutive
+   unsigned 32-bit little-endian words, one per 31-bit limb, inside a
+   [Bytes.t] packet buffer.  The kernels below operate on that view
+   without materialising an [int array]: reads are composed from four
+   [Bytes.unsafe_get] byte loads (never [Bytes.get_int32_le], which boxes
+   on 64-bit OCaml).  Callers guarantee [pos + 4*limbs <= length b]. *)
+
+let get_u32 b pos =
+  Char.code (Bytes.unsafe_get b pos)
+  lor (Char.code (Bytes.unsafe_get b (pos + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get b (pos + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (pos + 3)) lsl 24)
+
+let set_u32 b pos v =
+  Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (pos + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (pos + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
+
+let blit_bytes a b ~pos =
+  let n = Array.length a in
+  for i = 0 to n - 1 do
+    set_u32 b (pos + (4 * i)) (Array.unsafe_get a i)
+  done;
+  n
+
+let of_bytes b ~pos ~limbs =
+  if limbs < 0 then invalid_arg "Nat.of_bytes: negative limb count";
+  normalize (Array.init limbs (fun i -> get_u32 b (pos + (4 * i)) land mask))
+
+(* top-level so the recursion compiles to a static call, not a heap-
+   allocated closure — equal_bytes sits on the per-packet fast path *)
+let rec equal_bytes_from a b pos i =
+  i < 0 || (Array.unsafe_get a i = get_u32 b (pos + (4 * i)) && equal_bytes_from a b pos (i - 1))
+
+let equal_bytes a b ~pos ~limbs =
+  Array.length a = limbs && equal_bytes_from a b pos (limbs - 1)
+
+(* Mirror of [rem_int] over the byte view, including the 0/1/2-limb fast
+   paths (two limbs fit in 62 bits: one machine division). *)
+let rem_int_bytes b ~pos ~limbs s =
+  if s <= 0 || s >= base then
+    invalid_arg "Nat.rem_int_bytes: modulus out of range";
+  match limbs with
+  | 0 -> 0
+  | 1 -> get_u32 b pos mod s
+  | 2 -> ((get_u32 b (pos + 4) lsl limb_bits) lor get_u32 b pos) mod s
+  | len ->
+    let bm = base mod s in
+    let rec fold i r =
+      if i < 0 then r
+      else fold (i - 1) (((r * bm) + get_u32 b (pos + (4 * i))) mod s)
+    in
+    fold (len - 1) 0
+
 (* Division of a canonical magnitude by a single limb [d]; returns the
    quotient and the remainder limb. *)
 let divmod_limb a d =

@@ -67,6 +67,32 @@ val divmod : int array -> int array -> int array * int array
     @raise Invalid_argument when [s] is outside [\[1, base)]. *)
 val rem_int : int array -> int -> int
 
+(** {2 Byte-backed limb views}
+
+    A magnitude can be stored inside a [Bytes.t] buffer as consecutive
+    little-endian unsigned 32-bit words, one per 31-bit limb (the layout of
+    the route-ID area in [Wire.Flat]).  The functions below read and write
+    that view without materialising an [int array] and without boxing; the
+    caller guarantees [pos + 4*limbs <= Bytes.length b]. *)
+
+(** [blit_bytes a b ~pos] writes the limbs of [a] at byte offset [pos] and
+    returns the limb count written.  The view is canonical iff [a] is. *)
+val blit_bytes : int array -> Bytes.t -> pos:int -> int
+
+(** [of_bytes b ~pos ~limbs] materialises a canonical magnitude from the
+    view (normalising, and masking each word to 31 bits). *)
+val of_bytes : Bytes.t -> pos:int -> limbs:int -> int array
+
+(** [equal_bytes a b ~pos ~limbs] compares a canonical magnitude against a
+    canonical byte view without allocating. *)
+val equal_bytes : int array -> Bytes.t -> pos:int -> limbs:int -> bool
+
+(** [rem_int_bytes b ~pos ~limbs s] is {!rem_int} over the byte view:
+    the same high-to-low fold with precomputed [base mod s], the same
+    0/1/2-limb fast paths, zero allocation.
+    @raise Invalid_argument when [s] is outside [\[1, base)]. *)
+val rem_int_bytes : Bytes.t -> pos:int -> limbs:int -> int -> int
+
 (** [shift_left a k] is [a * 2^k].  [k >= 0]. *)
 val shift_left : int array -> int -> int array
 

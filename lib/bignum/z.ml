@@ -80,6 +80,22 @@ let rem_int a s =
     | Some r -> r
     | None -> assert false (* 0 <= r < s <= max_int *)
 
+(* Byte-backed limb views (Wire.Flat route-ID area): non-negative values
+   only, stored as the canonical Nat limbs in LE u32 words. *)
+
+let limb_count a = Array.length a.mag
+
+let blit_limbs a b ~pos =
+  if a.sign < 0 then invalid_arg "Z.blit_limbs: negative";
+  Nat.blit_bytes a.mag b ~pos
+
+let of_limbs b ~pos ~limbs = mk 1 (Nat.of_bytes b ~pos ~limbs)
+
+let rem_int_bytes b ~pos ~limbs s = Nat.rem_int_bytes b ~pos ~limbs s
+
+let equal_limbs a b ~pos ~limbs =
+  a.sign >= 0 && Nat.equal_bytes a.mag b ~pos ~limbs
+
 let compare a b =
   if a.sign <> b.sign then Stdlib.compare a.sign b.sign
   else if a.sign >= 0 then Nat.compare a.mag b.mag

@@ -56,6 +56,33 @@ val erem : t -> t -> t
     the per-packet forwarding kernel ([<R>_s], Eq. 1).  Requires [s > 0]. *)
 val rem_int : t -> int -> int
 
+(** {2 Byte-backed limb views}
+
+    Mirrors of the {!Bignum.Nat} byte-view kernels for non-negative values:
+    the route-ID area of a [Wire.Flat] packet buffer stores the canonical
+    limbs as little-endian unsigned 32-bit words.  All four functions are
+    allocation-free except {!of_limbs} (a boundary materialisation). *)
+
+(** [limb_count a] is the number of 31-bit limbs in [|a|] (0 for zero). *)
+val limb_count : t -> int
+
+(** [blit_limbs a b ~pos] writes the limbs of [a] at byte offset [pos],
+    returning the limb count.
+    @raise Invalid_argument when [a < 0]. *)
+val blit_limbs : t -> Bytes.t -> pos:int -> int
+
+(** [of_limbs b ~pos ~limbs] materialises the (non-negative) value. *)
+val of_limbs : Bytes.t -> pos:int -> limbs:int -> t
+
+(** [rem_int_bytes b ~pos ~limbs s] is the forwarding kernel [<R>_s]
+    directly over the byte view; equals [rem_int (of_limbs b ...) s].
+    @raise Invalid_argument when [s] is outside [\[1, 2^31)]. *)
+val rem_int_bytes : Bytes.t -> pos:int -> limbs:int -> int -> int
+
+(** [equal_limbs a b ~pos ~limbs] compares without materialising; [false]
+    for negative [a]. *)
+val equal_limbs : t -> Bytes.t -> pos:int -> limbs:int -> bool
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val min : t -> t -> t

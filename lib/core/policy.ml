@@ -31,6 +31,10 @@ type packet_view = { route_id : Z.t; in_port : int; deflected : bool }
 
 let computed_port ~switch_id ~route_id = Z.rem_int route_id switch_id
 
+(* Same kernel over a flat packet image: the remainder fold runs directly on
+   the buffer's limb words, no Z.t in sight. *)
+let computed_port_flat ~switch_id buf = Wire.Flat.rem_route_id buf switch_id
+
 (* Packed forwarding decision: the steady-state data plane must not touch
    the minor heap, so [decide] returns port and deflected-flag in one
    immediate int instead of a (decision * bool) pair.  Port -1 encodes

@@ -128,6 +128,11 @@ val enumerate :
     kernel {!Bignum.Z.rem_int}. *)
 val computed_port : switch_id:int -> route_id:Bignum.Z.t -> int
 
+(** [computed_port_flat ~switch_id buf] is {!computed_port} over a
+    {!Wire.Flat} packet image: the remainder fold runs directly on the
+    buffer's route-ID limb words, allocating nothing. *)
+val computed_port_flat : switch_id:int -> Bytes.t -> int
+
 (** [via_computed policy ~switch_id ~packet ~port] — given that [forward]
     chose [port] for [packet], was that the modulo computation rather than
     a random deflection draw?  Sound because every policy's random draw is

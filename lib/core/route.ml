@@ -145,6 +145,19 @@ let cached_port plan ~route_id ~switch_id =
   then plan.residue_ports.(switch_id)
   else Policy.computed_port ~switch_id ~route_id
 
+(* The same lookup over a flat packet image.  Pointer identity is gone (the
+   buffer holds limb words, not the plan's Z.t), so the guard is the limb
+   comparison — O(limbs) machine-int equality, still allocation-free and
+   still a cheap win over the fold for multi-limb IDs. *)
+let cached_port_flat plan buf ~switch_id =
+  if
+    switch_id >= 0
+    && switch_id < Array.length plan.residue_ports
+    && plan.residue_ports.(switch_id) >= 0
+    && Wire.Flat.route_id_equal buf plan.route_id
+  then plan.residue_ports.(switch_id)
+  else Policy.computed_port_flat ~switch_id buf
+
 let residue_table plan =
   fun switch_id ->
     if switch_id >= 0

@@ -67,6 +67,13 @@ val protect_exn : Topo.Graph.t -> plan -> (int * int) list -> plan
     [Policy.computed_port].  Always equal to [<route_id>_switch_id]. *)
 val cached_port : plan -> route_id:Z.t -> switch_id:int -> int
 
+(** [cached_port_flat plan buf ~switch_id] is {!cached_port} over a
+    {!Wire.Flat} packet image: the cache guard compares the buffer's limb
+    words against the plan's route ID (no pointer identity on flat buffers),
+    falling back to the in-place remainder fold on a miss.  Allocation-free
+    either way. *)
+val cached_port_flat : plan -> Bytes.t -> switch_id:int -> int
+
 (** [residue_table plan] is the plan's switch-to-port map as a function:
     the cached port for switches in the plan, the computed [<R>_s] (for the
     plan's own route ID) otherwise. *)

@@ -55,7 +55,7 @@ let run_case ~topology (sc : Topo.Nets.scenario) ~link ~level ~policy ~packets
     (fun v ->
       Netsim.Karnet.install_edge net v
         ~reencode:(fun (p : Netsim.Packet.t) ->
-          Kar.Controller.reencode cache ~at:v ~dst:p.Netsim.Packet.dst)
+          Kar.Controller.reencode cache ~at:v ~dst:(Netsim.Packet.dst p))
         ~receive:(fun _ _ -> ())
         ())
     (Graph.edge_nodes g);

@@ -10,25 +10,26 @@ let install_switches ?plan net ~policy ~seed =
     (fun v ->
       let rng = Util.Prng.split master in
       let switch_id = Graph.label (Net.graph net) v in
-      (* The modulo answer for this switch: a residue-table read when a
-         plan is threaded through (missing automatically for packets whose
-         route ID the table was not built from, e.g. after an edge
-         re-encode), the remainder kernel otherwise.  Resolved once per
-         switch at install time, not per packet. *)
+      (* The modulo answer for this switch, read straight off the packet's
+         flat buffer: a residue-table read when a plan is threaded through
+         (missing automatically for packets whose route ID the table was
+         not built from, e.g. after an edge re-encode), the in-place
+         remainder kernel otherwise.  Resolved once per switch at install
+         time, not per packet. *)
       let computed_for =
         match plan with
-        | Some p ->
-          fun route_id -> Kar.Route.cached_port p ~route_id ~switch_id
-        | None -> fun route_id -> Kar.Policy.computed_port ~switch_id ~route_id
+        | Some p -> fun buf -> Kar.Route.cached_port_flat p buf ~switch_id
+        | None -> fun buf -> Kar.Policy.computed_port_flat ~switch_id buf
       in
       let handler net _node (packet : Packet.t) ~in_port =
-        packet.Packet.hops <- packet.Packet.hops + 1;
-        if packet.Packet.hops > Net.ttl net then
+        let hops = Packet.hops packet + 1 in
+        Packet.set_hops packet hops;
+        if hops > Net.ttl net then
           Net.drop ~at:v ~in_port net packet Net.Ttl_exceeded
         else begin
           let ports = Net.port_states net v in
-          let was_deflected = packet.Packet.deflected in
-          let c = computed_for packet.Packet.route_id in
+          let was_deflected = Packet.deflected packet in
+          let c = computed_for (Packet.bytes packet) in
           (* Steady state (computed port healthy, no recorder): everything
              from here to [Net.send] stays off the minor heap. *)
           let d =
@@ -59,9 +60,9 @@ let install_switches ?plan net ~policy ~seed =
              ignore
                (Trace.Recorder.record r
                   ~vtime:(Engine.now (Net.engine net))
-                  ~uid:packet.Packet.uid ~switch:switch_id ~in_port
+                  ~uid:(Packet.uid packet) ~switch:switch_id ~in_port
                   ~out_port:port
-                  ~ttl:(Net.ttl net - packet.Packet.hops)
+                  ~ttl:(Net.ttl net - hops)
                   action)
            | _ -> ());
           if deflected && not was_deflected then begin
@@ -69,7 +70,7 @@ let install_switches ?plan net ~policy ~seed =
             Log.debug (fun m ->
                 m "SW%d deflected %a (in port %d)" switch_id Packet.pp packet
                   in_port);
-            packet.Packet.deflected <- true
+            Packet.set_deflected packet true
           end;
           if port >= 0 then Net.send net ~from_node:v ~port packet
           else Net.drop ~at:v ~in_port net packet Net.No_route
@@ -82,9 +83,12 @@ type receive = Net.t -> Packet.t -> unit
 
 let install_edge net node ?(reencode_delay_s = 1e-3) ~reencode ~receive () =
   let handler net _node (packet : Packet.t) ~in_port =
-    if packet.Packet.dst = node then begin
+    if Packet.dst packet = node then begin
       Net.delivered ~in_port net packet;
-      receive net packet
+      receive net packet;
+      (* Terminal point: the receive callback may read the packet but not
+         keep it; the buffer goes back to the pool. *)
+      Net.free net packet
     end
     else if in_port < 0 then begin
       (* Locally injected by the host stack: ship toward the core.  An edge
@@ -98,9 +102,9 @@ let install_edge net node ?(reencode_delay_s = 1e-3) ~reencode ~receive () =
       | None -> Net.drop ~at:node ~in_port net packet Net.No_route
       | Some route_id ->
         Net.count_reencode net;
-        packet.Packet.route_id <- route_id;
-        packet.Packet.deflected <- false;
-        packet.Packet.reencoded <- packet.Packet.reencoded + 1;
+        Packet.set_route_id packet route_id;
+        Packet.set_deflected packet false;
+        Packet.set_reencoded packet (Packet.reencoded packet + 1);
         ignore
           (Engine.schedule_in (Net.engine net) reencode_delay_s (fun () ->
                (* Recorded at actual send time, so the event's place in the
@@ -111,10 +115,10 @@ let install_edge net node ?(reencode_delay_s = 1e-3) ~reencode ~receive () =
                   ignore
                     (Trace.Recorder.record r
                        ~vtime:(Engine.now (Net.engine net))
-                       ~uid:packet.Packet.uid
+                       ~uid:(Packet.uid packet)
                        ~switch:(Graph.label (Net.graph net) node)
                        ~in_port:(-1) ~out_port:0
-                       ~ttl:(Net.ttl net - packet.Packet.hops)
+                       ~ttl:(Net.ttl net - Packet.hops packet)
                        Trace.Event.Reencode));
                Net.send net ~from_node:node ~port:0 packet))
     end

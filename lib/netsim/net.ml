@@ -23,16 +23,22 @@ type stats = {
 }
 
 (* One direction of a link: a serialising transmitter behind a byte-bounded
-   FIFO.  [dst] is the receiving node and [dst_port] its input port. *)
+   FIFO.  [dst] is the receiving node and [dst_port] its input port.  The
+   transmitter is modelled by a free-at time ([busy_until], kept in the
+   net-level float array so updating it per hop stays unboxed) instead of a
+   busy flag + completion event: an idle channel forwards a packet with a
+   single merged serialisation+propagation event, and only a backlogged
+   channel schedules wake events to drain its queue. *)
 type channel = {
   link_id : Graph.link_id;
+  idx : int; (* index into [busy_until]: 2*link_id + direction *)
   dst : Graph.node;
   dst_port : int;
   rate_bps : float;
   delay_s : float;
   queue : Packet.t Queue.t;
   mutable queued_bytes : int;
-  mutable busy : bool;
+  mutable wake_scheduled : bool;
   mutable epoch : int; (* bumped on failure: invalidates in-flight events *)
 }
 
@@ -43,11 +49,13 @@ type t = {
   ttl : int;
   detection_delay_s : float;
   up : bool array; (* per link *)
+  busy_until : float array; (* per channel; unboxed float array *)
   channels : channel array array; (* channels.(link).(dir) *)
   out_channel : channel array array; (* out_channel.(node).(port) *)
   handlers : handler option array;
   port_cache : Kar.Policy.port_state array array;
   stats : stats;
+  pool : Packet.Pool.t;
   mutable next_uid : int;
   (* Observability: [None] recorder (the default) keeps the hot path
      event-free; per-switch deflect/drive tallies are only maintained while
@@ -80,13 +88,14 @@ let create ~graph ~engine ?(queue_capacity_bytes = 1_048_576) ?(ttl = 128)
     let far = if dir = 0 then link.Graph.ep1 else link.Graph.ep0 in
     {
       link_id = link.Graph.id;
+      idx = (2 * link.Graph.id) + dir;
       dst = far.Graph.node;
       dst_port = far.Graph.port;
       rate_bps = link.Graph.rate_bps;
       delay_s = link.Graph.delay_s;
       queue = Queue.create ();
       queued_bytes = 0;
-      busy = false;
+      wake_scheduled = false;
       epoch = 0;
     }
   in
@@ -116,11 +125,13 @@ let create ~graph ~engine ?(queue_capacity_bytes = 1_048_576) ?(ttl = 128)
     ttl;
     detection_delay_s;
     up = Array.make n_links true;
+    busy_until = Array.make (2 * n_links) 0.0;
     channels;
     out_channel;
     handlers = Array.make (Graph.n_nodes graph) None;
     port_cache;
     stats = make_stats ();
+    pool = Packet.Pool.create ();
     next_uid = 0;
     recorder = None;
     switch_deflections = Array.make (Graph.n_nodes graph) 0;
@@ -153,9 +164,11 @@ let record_event net ~switch ~in_port ~out_port (packet : Packet.t) action =
   | Some r ->
     ignore
       (Trace.Recorder.record r ~vtime:(Engine.now net.engine)
-         ~uid:packet.Packet.uid ~switch ~in_port ~out_port
-         ~ttl:(net.ttl - packet.Packet.hops) action)
+         ~uid:(Packet.uid packet) ~switch ~in_port ~out_port
+         ~ttl:(net.ttl - Packet.hops packet) action)
 
+(* Drops are terminal: the packet goes back to the pool (a no-op for
+   unpooled handles), so every loss path recycles its buffer. *)
 let drop ?at ?(in_port = -1) net (packet : Packet.t) reason =
   Log.debug (fun m ->
       m "t=%.6f drop %a (%s)" (Engine.now net.engine) Packet.pp packet
@@ -169,15 +182,16 @@ let drop ?at ?(in_port = -1) net (packet : Packet.t) reason =
      record_event net ~switch ~in_port ~out_port:(-1) packet
        (Trace.Event.Drop (reason_slug reason)));
   let s = net.stats in
-  match reason with
-  | Link_down -> s.dropped_link_down <- s.dropped_link_down + 1
-  | Queue_full -> s.dropped_queue_full <- s.dropped_queue_full + 1
-  | No_route -> s.dropped_no_route <- s.dropped_no_route + 1
-  | Ttl_exceeded -> s.dropped_ttl <- s.dropped_ttl + 1
+  (match reason with
+   | Link_down -> s.dropped_link_down <- s.dropped_link_down + 1
+   | Queue_full -> s.dropped_queue_full <- s.dropped_queue_full + 1
+   | No_route -> s.dropped_no_route <- s.dropped_no_route + 1
+   | Ttl_exceeded -> s.dropped_ttl <- s.dropped_ttl + 1);
+  Packet.Pool.release net.pool packet
 
 let delivered ?(in_port = -1) net (packet : Packet.t) =
   record_event net
-    ~switch:(Graph.label net.graph packet.Packet.dst)
+    ~switch:(Graph.label net.graph (Packet.dst packet))
     ~in_port ~out_port:(-1) packet Trace.Event.Deliver;
   net.stats.delivered <- net.stats.delivered + 1
 
@@ -193,49 +207,78 @@ let fresh_uid net =
 
 let link_up net id = net.up.(id)
 
+let alloc net ~src ~dst ~size_bytes ~route_id payload =
+  let p = Packet.Pool.acquire net.pool in
+  Packet.stamp p ~uid:(fresh_uid net) ~src ~dst ~size_bytes ~route_id
+    ~born:(Engine.now net.engine) payload;
+  p
+
+let free net p = Packet.Pool.release net.pool p
+let pool_stats net = Packet.Pool.stats net.pool
+
 let deliver net node packet ~in_port =
   match net.handlers.(node) with
   | Some h -> h net node packet ~in_port
   | None ->
-    if packet.Packet.dst = node then delivered ~in_port net packet
+    if Packet.dst packet = node then begin
+      delivered ~in_port net packet;
+      Packet.Pool.release net.pool packet
+    end
     else drop ~at:node ~in_port net packet No_route
 
-(* Start transmitting the head-of-line packet if the channel is idle. *)
-let rec pump net ch =
-  if (not ch.busy) && (not (Queue.is_empty ch.queue)) && net.up.(ch.link_id) then begin
+(* Put a packet on the wire of an idle channel: one merged event covers
+   serialisation and propagation (the transmitter frees at [busy_until];
+   the packet arrives [delay_s] later).  A failure during either phase is
+   caught by the epoch check when the event fires. *)
+let transmit net ch packet =
+  let tx_time = float_of_int (Packet.size_bytes packet * 8) /. ch.rate_bps in
+  net.busy_until.(ch.idx) <- Engine.now net.engine +. tx_time;
+  let epoch = ch.epoch in
+  ignore
+    (Engine.schedule_in net.engine (tx_time +. ch.delay_s) (fun () ->
+         if ch.epoch = epoch then deliver net ch.dst packet ~in_port:ch.dst_port
+         else drop net packet Link_down))
+
+(* Backlogged channels drain via wake events at the transmitter's free
+   time.  [wake_scheduled] dedups the common case; stray extra wakes (after
+   a failure reset the flag's event) are harmless because service is guarded
+   by [busy_until] and FIFO order by the single queue. *)
+let rec wake net ch () =
+  ch.wake_scheduled <- false;
+  if
+    net.up.(ch.link_id)
+    && (not (Queue.is_empty ch.queue))
+    && Engine.now net.engine >= net.busy_until.(ch.idx)
+  then begin
     let packet = Queue.pop ch.queue in
-    ch.queued_bytes <- ch.queued_bytes - packet.Packet.size_bytes;
-    ch.busy <- true;
-    let tx_time = float_of_int (packet.Packet.size_bytes * 8) /. ch.rate_bps in
-    let epoch = ch.epoch in
-    ignore
-      (Engine.schedule_in net.engine tx_time (fun () ->
-           if ch.epoch = epoch then begin
-             ch.busy <- false;
-             (* Propagation: the packet is on the wire; a failure during
-                propagation also kills it (checked via epoch). *)
-             ignore
-               (Engine.schedule_in net.engine ch.delay_s (fun () ->
-                    if ch.epoch = epoch then
-                      deliver net ch.dst packet ~in_port:ch.dst_port
-                    else drop net packet Link_down));
-             pump net ch
-           end
-           else drop net packet Link_down))
+    ch.queued_bytes <- ch.queued_bytes - Packet.size_bytes packet;
+    transmit net ch packet
+  end;
+  schedule_wake net ch
+
+and schedule_wake net ch =
+  if (not ch.wake_scheduled) && (not (Queue.is_empty ch.queue)) && net.up.(ch.link_id)
+  then begin
+    ch.wake_scheduled <- true;
+    let now = Engine.now net.engine in
+    let t = net.busy_until.(ch.idx) in
+    ignore (Engine.schedule_at net.engine (if t > now then t else now) (wake net ch))
   end
 
 let send net ~from_node ~port packet =
   let ch = net.out_channel.(from_node).(port) in
   if not net.up.(ch.link_id) then drop ~at:from_node net packet Link_down
-  else if ch.queued_bytes + packet.Packet.size_bytes > net.queue_capacity_bytes
+  else if ch.queued_bytes + Packet.size_bytes packet > net.queue_capacity_bytes
   then begin
     net.link_queue_drops.(ch.link_id) <- net.link_queue_drops.(ch.link_id) + 1;
     drop ~at:from_node net packet Queue_full
   end
+  else if Queue.is_empty ch.queue && Engine.now net.engine >= net.busy_until.(ch.idx)
+  then transmit net ch packet
   else begin
     Queue.push packet ch.queue;
-    ch.queued_bytes <- ch.queued_bytes + packet.Packet.size_bytes;
-    pump net ch
+    ch.queued_bytes <- ch.queued_bytes + Packet.size_bytes packet;
+    schedule_wake net ch
   end
 
 let inject net ~at packet =
@@ -275,7 +318,7 @@ let fail_link net id =
     Array.iter
       (fun ch ->
         ch.epoch <- ch.epoch + 1;
-        ch.busy <- false;
+        net.busy_until.(ch.idx) <- 0.0;
         Queue.iter (fun p -> drop net p Link_down) ch.queue;
         Queue.clear ch.queue;
         ch.queued_bytes <- 0)
@@ -287,7 +330,7 @@ let repair_link net id =
     Log.info (fun m -> m "t=%.6f link %d repaired" (Engine.now net.engine) id);
     net.up.(id) <- true;
     schedule_detection net id;
-    Array.iter (fun ch -> pump net ch) net.channels.(id)
+    Array.iter (fun ch -> schedule_wake net ch) net.channels.(id)
   end
 
 let schedule_failure net id ~at ~duration =

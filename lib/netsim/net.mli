@@ -107,6 +107,31 @@ val schedule_failure : t -> Topo.Graph.link_id -> at:float -> duration:float -> 
 (** [fresh_uid net] allocates a packet uid. *)
 val fresh_uid : t -> int
 
+(** {2 Packet buffer pool}
+
+    The network owns a free-list pool of flat packet buffers.  [alloc]
+    recycles a released buffer (or grows the pool on first use), stamps a
+    fresh uid and the current time, and returns a live packet — the
+    steady-state injection path allocates zero minor words once the pool is
+    warm.  Packets reach the pool again at every terminal point: {!drop}
+    releases internally, handler-less delivery releases after counting, and
+    {!Karnet} edge handlers release after the receive callback.  [free] is
+    for custom handlers that consume packets themselves; it is a no-op on
+    unpooled ({!Packet.make}) handles and on already-released packets, so
+    calling it defensively is safe. *)
+
+val alloc :
+  t ->
+  src:Topo.Graph.node ->
+  dst:Topo.Graph.node ->
+  size_bytes:int ->
+  route_id:Bignum.Z.t ->
+  Packet.payload ->
+  Packet.t
+
+val free : t -> Packet.t -> unit
+val pool_stats : t -> Packet.Pool.stats
+
 (** [port_states net node] is the current {!Kar.Policy.port_state} array of
     [node] (liveness from the failure state, orientation from the graph). *)
 val port_states : t -> Topo.Graph.node -> Kar.Policy.port_state array

@@ -1,9 +1,20 @@
-(** Simulated packets.
+(** Simulated packets, carried as flat {!Wire.Flat} byte images.
 
-    The route ID is the only header field KAR core switches read; edges may
-    rewrite it (ingress stamping, stranded-packet re-encoding).  [payload]
-    is an extensible variant so higher layers (TCP, probe workloads) attach
-    their own data without the simulator depending on them. *)
+    A packet handle wraps one fixed-size [Bytes.t] holding every header
+    field (uid, src, dst, size, hops, reencoded, deflected, route-ID limbs);
+    core switches read the route ID straight off the limb words via
+    {!Kar.Route.cached_port_flat} — no record, no [Z.t], no allocation on
+    the forwarding path.  [payload] is an extensible variant so higher
+    layers (TCP, probe workloads) attach their own data without the
+    simulator depending on them; [born] stays an exact float for latency
+    stats.
+
+    Handles are either {e unpooled} (from {!make}: one-shot, never
+    recycled) or {e pooled} (from {!Pool.acquire}: recycled through a
+    free list so the steady-state loop allocates zero minor words per
+    packet).  The image's live bit tracks ownership: {!Pool.release} is a
+    no-op on unpooled or already-released handles, so boundary code may
+    release unconditionally. *)
 
 module Z = Bignum.Z
 
@@ -11,21 +22,56 @@ type payload = ..
 
 type payload += Raw (** contentless filler traffic *)
 
-type t = {
-  uid : int; (** unique per simulation, for tracing *)
-  src : Topo.Graph.node; (** originating edge node *)
-  dst : Topo.Graph.node; (** intended egress edge node *)
-  size_bytes : int;
-  mutable route_id : Z.t; (** KAR header; edges may rewrite *)
-  mutable deflected : bool; (** set after the first deflection (HP state) *)
-  mutable hops : int; (** switch traversals so far *)
-  mutable reencoded : int; (** times an edge re-encoded this packet *)
-  born : float; (** creation time, for latency stats *)
-  payload : payload;
-}
+type t
+
+(** The underlying flat image, for direct kernel access
+    ({!Kar.Policy.computed_port_flat}, {!Kar.Route.cached_port_flat}). *)
+val bytes : t -> Bytes.t
+
+val uid : t -> int
+val src : t -> Topo.Graph.node
+val dst : t -> Topo.Graph.node
+val size_bytes : t -> int
+
+(** Materialises the route ID from the limb words (allocates; boundary use
+    only — the data plane reads the image directly). *)
+val route_id : t -> Z.t
+
+(** Rewrite the route ID in place (edge re-encoding, ingress stamping). *)
+val set_route_id : t -> Z.t -> unit
+
+val deflected : t -> bool
+val set_deflected : t -> bool -> unit
+val hops : t -> int
+val set_hops : t -> int -> unit
+val reencoded : t -> int
+val set_reencoded : t -> int -> unit
+val payload : t -> payload
+val set_payload : t -> payload -> unit
+
+(** Creation time, for latency stats. *)
+val born : t -> float
+
+(** The image's live bit: true between stamp/acquire and pool release. *)
+val live : t -> bool
+
+(** Re-initialise every field of an existing handle in place.  Writes only
+    into the byte image (plus the two non-image fields), so it allocates
+    nothing when [born] is an already-boxed float and [payload] a constant
+    constructor. *)
+val stamp :
+  t ->
+  uid:int ->
+  src:Topo.Graph.node ->
+  dst:Topo.Graph.node ->
+  size_bytes:int ->
+  route_id:Z.t ->
+  born:float ->
+  payload ->
+  unit
 
 (** [make ~uid ~src ~dst ~size_bytes ~route_id ~born payload] builds a fresh
-    packet (not yet injected). *)
+    unpooled packet (not yet injected). *)
 val make :
   uid:int ->
   src:Topo.Graph.node ->
@@ -35,5 +81,32 @@ val make :
   born:float ->
   payload ->
   t
+
+(** Free-list pool of reusable packet buffers. *)
+module Pool : sig
+  type packet = t
+  type t
+
+  type stats = {
+    hits : int; (** acquires served from the free list *)
+    grows : int; (** acquires that had to allocate a new buffer *)
+    in_flight : int; (** pooled packets currently out (not on the free list) *)
+    releases : int; (** effective releases (double-release no-ops excluded) *)
+  }
+
+  val create : unit -> t
+
+  (** Pop a buffer from the free list (or allocate one on first use) and
+      mark it live.  The image's other fields are stale — callers must
+      {!stamp} before use. *)
+  val acquire : t -> packet
+
+  (** Return a packet to the free list.  No-op on unpooled handles and on
+      packets already released (live bit guard), so releasing at every
+      terminal point (drop, delivery) is safe even when paths overlap. *)
+  val release : t -> packet -> unit
+
+  val stats : t -> stats
+end
 
 val pp : Format.formatter -> t -> unit

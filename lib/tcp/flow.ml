@@ -166,11 +166,9 @@ let window_bytes t =
 
 let emit_segment t ~seq ~retransmission =
   let packet =
-    Packet.make
-      ~uid:(Net.fresh_uid t.net)
-      ~src:t.src ~dst:t.dst
+    Net.alloc t.net ~src:t.src ~dst:t.dst
       ~size_bytes:(t.config.mss + t.config.header_bytes)
-      ~route_id:t.fwd_route ~born:(now t)
+      ~route_id:t.fwd_route
       (Data { flow = t.flow_id; seq })
   in
   t.segments_sent <- t.segments_sent + 1;
@@ -217,10 +215,8 @@ let sack_blocks t =
 
 let emit_ack t ~ackno ~dsack =
   let packet =
-    Packet.make
-      ~uid:(Net.fresh_uid t.net)
-      ~src:t.dst ~dst:t.src ~size_bytes:t.config.ack_bytes ~route_id:t.rev_route
-      ~born:(now t)
+    Net.alloc t.net ~src:t.dst ~dst:t.src ~size_bytes:t.config.ack_bytes
+      ~route_id:t.rev_route
       (Ack { flow = t.flow_id; ackno; sacks = sack_blocks t; dsack })
   in
   Net.inject t.net ~at:t.dst packet

@@ -11,7 +11,7 @@ type t = {
 }
 
 let dispatch stack net (packet : Packet.t) =
-  match packet.Packet.payload with
+  match Packet.payload packet with
   | Flow.Data { flow; seq } ->
     (match Hashtbl.find_opt stack.flows flow with
      | Some f -> Flow.handle_data f net ~seq
@@ -30,7 +30,7 @@ let create ~net ?(reencode_delay_s = 1e-3) () =
     (fun v ->
       Karnet.install_edge net v ~reencode_delay_s
         ~reencode:(fun packet ->
-          Kar.Controller.reencode stack.controller ~at:v ~dst:packet.Packet.dst)
+          Kar.Controller.reencode stack.controller ~at:v ~dst:(Packet.dst packet))
         ~receive:(fun net packet -> dispatch stack net packet)
         ())
     (Graph.edge_nodes (Net.graph net));

@@ -1,0 +1,164 @@
+(* Compact binary trace encoding: length-prefixed fixed records appended to
+   a growable byte arena.  Same event vocabulary as Event.t; see binary.mli
+   for the record layout.  The writer is the allocation-light counterpart of
+   the JSONL sink: appending an event writes bytes into the arena instead of
+   formatting a string (the one unavoidable box is [Int64.bits_of_float] for
+   the timestamp). *)
+
+let magic = "KARB0001"
+let magic_len = 8
+let fixed_len = 37
+let max_arg = 255 - fixed_len
+
+type writer = { mutable buf : Bytes.t; mutable len : int }
+
+let writer ?(capacity = 65536) () =
+  let capacity = max capacity (magic_len + 256) in
+  let w = { buf = Bytes.create capacity; len = magic_len } in
+  Bytes.blit_string magic 0 w.buf 0 magic_len;
+  w
+
+let length w = w.len
+
+let reset w = w.len <- magic_len
+
+let ensure w extra =
+  let need = w.len + extra in
+  if need > Bytes.length w.buf then begin
+    let bigger = Bytes.create (max need (2 * Bytes.length w.buf)) in
+    Bytes.blit w.buf 0 bigger 0 w.len;
+    w.buf <- bigger
+  end
+
+let set8 b pos v = Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xff))
+
+let set16 b pos v =
+  set8 b pos v;
+  set8 b (pos + 1) (v lsr 8)
+
+let set32 b pos v =
+  set16 b pos v;
+  set16 b (pos + 2) (v lsr 16)
+
+let set64 b pos v =
+  set32 b pos v;
+  set32 b (pos + 4) (v lsr 32)
+
+let get8 b pos = Char.code (Bytes.unsafe_get b pos)
+let get16 b pos = get8 b pos lor (get8 b (pos + 1) lsl 8)
+let get32 b pos = get16 b pos lor (get16 b (pos + 2) lsl 16)
+let get64 b pos = get32 b pos lor (get32 b (pos + 4) lsl 32)
+let sext16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+let sext32 v = if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+let tag_of_action : Event.action -> int = function
+  | Event.Inject -> 0
+  | Event.Forward -> 1
+  | Event.Deflect _ -> 2
+  | Event.Drive -> 3
+  | Event.Deliver -> 4
+  | Event.Reencode -> 5
+  | Event.Drop _ -> 6
+
+let action_arg : Event.action -> string = function
+  | Event.Deflect s | Event.Drop s -> s
+  | _ -> ""
+
+let append w (e : Event.t) =
+  let arg = action_arg e.action in
+  let arg_len = String.length arg in
+  if arg_len > max_arg then
+    invalid_arg
+      (Printf.sprintf "Trace.Binary.append: action argument longer than %d bytes"
+         max_arg);
+  let total = fixed_len + arg_len in
+  ensure w total;
+  let b = w.buf and p = w.len in
+  set8 b p total;
+  set8 b (p + 1) (tag_of_action e.action);
+  set8 b (p + 2) arg_len;
+  set32 b (p + 3) e.switch;
+  set16 b (p + 7) e.in_port;
+  set16 b (p + 9) e.out_port;
+  set16 b (p + 11) e.ttl;
+  set64 b (p + 13) e.seq;
+  set64 b (p + 21) e.uid;
+  Bytes.set_int64_le b (p + 29) (Int64.bits_of_float e.vtime);
+  Bytes.blit_string arg 0 b (p + 37) arg_len;
+  w.len <- w.len + total
+
+let sink w : Event.t -> unit = fun e -> append w e
+let contents w = Bytes.sub_string w.buf 0 w.len
+
+let to_file w path =
+  let oc = open_out_bin path in
+  output_bytes oc (Bytes.sub w.buf 0 w.len);
+  close_out oc
+
+let is_binary s =
+  String.length s >= magic_len && String.equal (String.sub s 0 magic_len) magic
+
+let action_of_tag tag arg =
+  match tag with
+  | 0 -> Ok Event.Inject
+  | 1 -> Ok Event.Forward
+  | 2 -> Ok (Event.Deflect arg)
+  | 3 -> Ok Event.Drive
+  | 4 -> Ok Event.Deliver
+  | 5 -> Ok Event.Reencode
+  | 6 -> Ok (Event.Drop arg)
+  | _ -> Error (Printf.sprintf "unknown action tag %d" tag)
+
+let decode_string s =
+  if not (is_binary s) then Error "missing KARB0001 magic"
+  else begin
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    let rec records pos acc =
+      if pos = n then Ok (List.rev acc)
+      else if pos > n || n - pos < fixed_len then
+        Error (Printf.sprintf "truncated record at byte %d" pos)
+      else begin
+        let total = get8 b pos in
+        let arg_len = get8 b (pos + 2) in
+        if total <> fixed_len + arg_len then
+          Error (Printf.sprintf "inconsistent record length at byte %d" pos)
+        else if pos + total > n then
+          Error (Printf.sprintf "truncated record at byte %d" pos)
+        else begin
+          match
+            action_of_tag (get8 b (pos + 1))
+              (Bytes.sub_string b (pos + 37) arg_len)
+          with
+          | Error _ as e -> e
+          | Ok action ->
+            let e : Event.t =
+              {
+                seq = get64 b (pos + 13);
+                vtime = Int64.float_of_bits (Bytes.get_int64_le b (pos + 29));
+                uid = get64 b (pos + 21);
+                switch = sext32 (get32 b (pos + 3));
+                in_port = sext16 (get16 b (pos + 7));
+                out_port = sext16 (get16 b (pos + 9));
+                ttl = sext16 (get16 b (pos + 11));
+                action;
+              }
+            in
+            records (pos + total) (e :: acc)
+        end
+      end
+    in
+    records magic_len []
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  decode_string s
+
+let encode_events events =
+  let w = writer () in
+  List.iter (append w) events;
+  contents w

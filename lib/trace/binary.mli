@@ -1,0 +1,71 @@
+(** Compact binary trace encoding.
+
+    The JSONL sink formats a string per event — fine for fixtures, hostile
+    to the hot path.  This module stores the same {!Event.t} vocabulary as
+    length-prefixed fixed binary records appended to a growable arena, and
+    converts losslessly to and from the JSONL form (timestamps are kept as
+    exact IEEE-754 bits, so a binary trace rendered through
+    {!Event.to_jsonl} is byte-identical to one recorded as JSONL directly).
+
+    File/stream layout: the 8-byte magic ["KARB0001"], then records.
+    Record layout (little-endian, offsets in bytes):
+
+    {v
+     off width field
+       0     1 total record length (37 + arg length)
+       1     1 action tag: 0 inject, 1 forward, 2 deflect, 3 drive,
+               4 deliver, 5 reencode, 6 drop
+       2     1 arg length A (deflect policy / drop reason string; 0..218)
+       3     4 switch label (signed)
+       7     2 in_port  (signed; -1 = none)
+       9     2 out_port (signed; -1 = none)
+      11     2 remaining ttl (signed)
+      13     8 recorder sequence number
+      21     8 packet uid
+      29     8 virtual time, IEEE-754 double bits
+      37     A arg bytes (raw, no escaping)
+    v} *)
+
+(** The 8-byte stream magic, ["KARB0001"]. *)
+val magic : string
+
+(** {2 Writing} *)
+
+type writer
+
+(** [writer ()] makes an arena with the magic already written.
+    [capacity] is the initial arena size in bytes (grows by doubling). *)
+val writer : ?capacity:int -> unit -> writer
+
+(** Append one event (one record) to the arena.
+    @raise Invalid_argument if the action argument exceeds 218 bytes. *)
+val append : writer -> Event.t -> unit
+
+(** [sink w] is [append w] as a {!Recorder} sink. *)
+val sink : writer -> Event.t -> unit
+
+(** Bytes written so far, including the magic. *)
+val length : writer -> int
+
+(** Drop all records (keeps the arena and the magic); for reuse. *)
+val reset : writer -> unit
+
+(** The full stream (magic + records) as a string. *)
+val contents : writer -> string
+
+(** Write the stream to a file (binary mode). *)
+val to_file : writer -> string -> unit
+
+(** {2 Reading} *)
+
+(** Does this string/file prefix carry the binary trace magic? *)
+val is_binary : string -> bool
+
+(** Decode a full stream back to events, in order.  Errors name the byte
+    offset of the first malformed record. *)
+val decode_string : string -> (Event.t list, string) result
+
+val read_file : string -> (Event.t list, string) result
+
+(** Encode a list of events as a full stream (magic + records). *)
+val encode_events : Event.t list -> string

@@ -30,17 +30,17 @@ let run sc ~policy ~level ~rate_pps ~duration_s ?failure ~seed () =
     (fun v ->
       Netsim.Karnet.install_edge net v
         ~reencode:(fun packet ->
-          Kar.Controller.reencode controller ~at:v ~dst:packet.Packet.dst)
+          Kar.Controller.reencode controller ~at:v ~dst:(Packet.dst packet))
         ~receive:(fun net packet ->
           ignore net;
           incr received;
-          (match packet.Packet.payload with
+          (match Packet.payload packet with
            | Probe seq -> Netsim.Reorder.observe analyzer seq
            | _ -> ());
-          hop_total := !hop_total + packet.Packet.hops;
+          hop_total := !hop_total + Packet.hops packet;
           latency_total :=
-            !latency_total +. (Engine.now engine -. packet.Packet.born);
-          if packet.Packet.reencoded > 0 then incr reencoded)
+            !latency_total +. (Engine.now engine -. Packet.born packet);
+          if Packet.reencoded packet > 0 then incr reencoded)
         ())
     (Topo.Graph.edge_nodes sc.Nets.graph);
   (match failure with
@@ -55,9 +55,8 @@ let run sc ~policy ~level ~rate_pps ~duration_s ?failure ~seed () =
         (Engine.schedule_at engine t (fun () ->
              incr sent;
              let packet =
-               Packet.make ~uid:(Net.fresh_uid net) ~src:sc.Nets.ingress
-                 ~dst:sc.Nets.egress ~size_bytes:1500
-                 ~route_id:plan.Kar.Route.route_id ~born:(Engine.now engine)
+               Net.alloc net ~src:sc.Nets.ingress ~dst:sc.Nets.egress
+                 ~size_bytes:1500 ~route_id:plan.Kar.Route.route_id
                  (Probe !sent)
              in
              Net.inject net ~at:sc.Nets.ingress packet;

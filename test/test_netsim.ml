@@ -331,7 +331,7 @@ let test_edge_reencode () =
   List.iter
     (fun v ->
       Netsim.Karnet.install_edge net v
-        ~reencode:(fun p -> Kar.Controller.reencode cache ~at:v ~dst:p.Packet.dst)
+        ~reencode:(fun p -> Kar.Controller.reencode cache ~at:v ~dst:(Packet.dst p))
         ~receive:(fun _ _ -> delivered := true)
         ())
     (Graph.edge_nodes g);
@@ -358,7 +358,7 @@ let test_karnet_full_path_deterministic () =
   let plan = Kar.Controller.scenario_plan sc Kar.Controller.Full in
   let hops = ref (-1) in
   Netsim.Karnet.install_edge net sc.Topo.Nets.egress ~reencode:(fun _ -> None)
-    ~receive:(fun _ p -> hops := p.Packet.hops)
+    ~receive:(fun _ p -> hops := Packet.hops p)
     ();
   Netsim.Karnet.install_edge net sc.Topo.Nets.ingress ~reencode:(fun _ -> None)
     ~receive:(fun _ _ -> ())
@@ -378,6 +378,88 @@ let feed seqs =
   let t = Netsim.Reorder.create () in
   List.iter (Netsim.Reorder.observe t) seqs;
   Netsim.Reorder.metrics t
+
+(* --- buffer pool --- *)
+
+let test_pool_reuse_physical () =
+  let pool = Packet.Pool.create () in
+  let p1 = Packet.Pool.acquire pool in
+  Packet.Pool.release pool p1;
+  let p2 = Packet.Pool.acquire pool in
+  Alcotest.(check bool) "released buffer is reused" true (p1 == p2);
+  let s = Packet.Pool.stats pool in
+  Alcotest.(check int) "one grow" 1 s.Packet.Pool.grows;
+  Alcotest.(check int) "one hit" 1 s.Packet.Pool.hits;
+  Alcotest.(check int) "one release" 1 s.Packet.Pool.releases;
+  Alcotest.(check int) "one in flight" 1 s.Packet.Pool.in_flight
+
+let test_pool_stats_accounting () =
+  let pool = Packet.Pool.create () in
+  let ps = Array.init 5 (fun _ -> Packet.Pool.acquire pool) in
+  let s = Packet.Pool.stats pool in
+  Alcotest.(check int) "five grows" 5 s.Packet.Pool.grows;
+  Alcotest.(check int) "no hits yet" 0 s.Packet.Pool.hits;
+  Alcotest.(check int) "five in flight" 5 s.Packet.Pool.in_flight;
+  Array.iter (fun p -> Packet.Pool.release pool p) ps;
+  let s = Packet.Pool.stats pool in
+  Alcotest.(check int) "all back" 0 s.Packet.Pool.in_flight;
+  Alcotest.(check int) "five releases" 5 s.Packet.Pool.releases;
+  (* double release must be a no-op, not a free-list corruption *)
+  Packet.Pool.release pool ps.(0);
+  let s = Packet.Pool.stats pool in
+  Alcotest.(check int) "double release ignored" 5 s.Packet.Pool.releases;
+  Alcotest.(check int) "in flight still zero" 0 s.Packet.Pool.in_flight;
+  (* unpooled packets (Packet.make) are never taken by the pool *)
+  let loose =
+    Packet.make ~uid:1 ~src:0 ~dst:1 ~size_bytes:10 ~route_id:route_to_b
+      ~born:0.0 Packet.Raw
+  in
+  Packet.Pool.release pool loose;
+  let s = Packet.Pool.stats pool in
+  Alcotest.(check int) "unpooled release ignored" 5 s.Packet.Pool.releases
+
+let test_pool_live_bit () =
+  let pool = Packet.Pool.create () in
+  let p = Packet.Pool.acquire pool in
+  Alcotest.(check bool) "live after acquire" true (Packet.live p);
+  Packet.Pool.release pool p;
+  Alcotest.(check bool) "dead after release" false (Packet.live p)
+
+let test_pool_drains_after_run () =
+  (* end to end: every packet a simulation allocates goes back to the pool
+     by the time the engine drains — delivered, dropped, or rescued *)
+  let net, engine, _, a, _, h, _ = fixture () in
+  Netsim.Karnet.install_switches net ~policy:Kar.Policy.Not_input_port ~seed:1;
+  install_ingress net a;
+  Netsim.Karnet.install_edge net h ~reencode:(fun _ -> None)
+    ~receive:(fun _ _ -> ())
+    ();
+  for _ = 1 to 50 do
+    let p =
+      Net.alloc net ~src:a ~dst:h ~size_bytes:1000 ~route_id:route_to_b
+        Packet.Raw
+    in
+    Net.inject net ~at:a p
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all delivered" 50 (Net.stats net).Net.delivered;
+  let s = Net.pool_stats net in
+  Alcotest.(check int) "pool fully drained" 0 s.Packet.Pool.in_flight;
+  (* all 50 were allocated before the engine ran, so the first run grows 50
+     buffers; a second identical run must be all hits, no new buffers *)
+  let grows_before = s.Packet.Pool.grows in
+  for _ = 1 to 50 do
+    let p =
+      Net.alloc net ~src:a ~dst:h ~size_bytes:1000 ~route_id:route_to_b
+        Packet.Raw
+    in
+    Net.inject net ~at:a p
+  done;
+  Engine.run engine;
+  let s = Net.pool_stats net in
+  Alcotest.(check int) "warm run creates nothing" grows_before
+    s.Packet.Pool.grows;
+  Alcotest.(check int) "warm run fully drained" 0 s.Packet.Pool.in_flight
 
 let test_reorder_in_order () =
   let m = feed [ 0; 1; 2; 3; 4; 5 ] in
@@ -446,6 +528,15 @@ let () =
           Alcotest.test_case "ttl enforced" `Quick test_ttl_enforced;
           Alcotest.test_case "detection delay black-holes" `Quick
             test_detection_delay_blackholes;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "released buffer is reused" `Quick
+            test_pool_reuse_physical;
+          Alcotest.test_case "stats accounting" `Quick test_pool_stats_accounting;
+          Alcotest.test_case "live bit" `Quick test_pool_live_bit;
+          Alcotest.test_case "simulation drains the pool" `Quick
+            test_pool_drains_after_run;
         ] );
       ( "reorder",
         [

@@ -226,7 +226,7 @@ let traced_run ?(cache = false) (sc : Nets.scenario) ~link ~level ~policy
     (fun v ->
       Netsim.Karnet.install_edge net v
         ~reencode:(fun (p : Netsim.Packet.t) ->
-          Kar.Controller.reencode cache ~at:v ~dst:p.Netsim.Packet.dst)
+          Kar.Controller.reencode cache ~at:v ~dst:(Netsim.Packet.dst p))
         ~receive:(fun _ _ -> ())
         ())
     (Graph.edge_nodes g);
@@ -367,6 +367,82 @@ let test_fixture_replay () =
         List.map Event.to_jsonl (Experiments.Invariants.canonical_trace which)
       in
       Alcotest.(check (list string)) (file ^ " byte-exact") lines regenerated)
+    fixtures
+
+(* --- Binary encoding --- *)
+
+(* Exact roundtrip for arbitrary events — unlike JSONL's %.9g rendering,
+   the binary format stores the timestamp's IEEE-754 bits, so no precision
+   restriction is needed on the generator. *)
+let prop_binary_roundtrip =
+  qtest ~count:500 "encode_events |> decode_string is the identity"
+    QCheck2.Gen.(
+      pair
+        (tup6 (0 -- 1_000_000) float (pair (-1 -- 997) (-1 -- 31)) (-1 -- 31)
+           (-300 -- 300)
+           (0 -- (List.length actions - 1)))
+        (0 -- 3))
+    (fun ((seq, vtime, (switch, in_port), out_port, ttl, ai), extra) ->
+      let mk i =
+        { Event.seq = seq + i; vtime; uid = (seq + i) mod 97; switch;
+          in_port; out_port; ttl; action = List.nth actions ai }
+      in
+      let events = List.init (1 + extra) mk in
+      Trace.Binary.decode_string (Trace.Binary.encode_events events)
+      = Ok events)
+
+let test_binary_rejects_garbage () =
+  let one = Trace.Binary.encode_events [ ev ~seq:0 ~ttl:8 Event.Inject ] in
+  List.iter
+    (fun (what, s) ->
+      match Trace.Binary.decode_string s with
+      | Ok _ -> Alcotest.failf "%s decoded" what
+      | Error _ -> ())
+    [ ("empty", ""); ("bad magic", "KARBxxxx" ^ "rest");
+      ("jsonl input", {|{"seq":0,...}|});
+      ("truncated record", String.sub one 0 (String.length one - 3));
+      ("record shorter than fixed part", Trace.Binary.magic ^ "\x05aaaa");
+      ("bad action tag",
+       (let b = Bytes.of_string one in
+        Bytes.set b 9 '\xee';
+        (* tag byte of the first record *)
+        Bytes.to_string b)) ]
+
+let test_binary_writer_reset () =
+  let w = Trace.Binary.writer ~capacity:16 () in
+  Alcotest.(check int) "fresh writer holds only the magic" 8
+    (Trace.Binary.length w);
+  (* grows across the initial capacity, then resets back to just-magic *)
+  for i = 0 to 99 do
+    Trace.Binary.append w (ev ~seq:i ~ttl:8 Event.Forward)
+  done;
+  Alcotest.(check int) "100 records" (8 + (100 * 37)) (Trace.Binary.length w);
+  (match Trace.Binary.decode_string (Trace.Binary.contents w) with
+   | Ok events -> Alcotest.(check int) "decodes all" 100 (List.length events)
+   | Error m -> Alcotest.fail m);
+  Trace.Binary.reset w;
+  Alcotest.(check int) "reset keeps only the magic" 8 (Trace.Binary.length w);
+  Alcotest.(check bool) "contents carry the magic" true
+    (Trace.Binary.is_binary (Trace.Binary.contents w))
+
+(* The compatibility contract of the binary sink: recording the canonical
+   scenarios through it and rendering the decoded events as JSONL is byte
+   for byte the committed golden fixture — the two sinks are observationally
+   identical. *)
+let test_binary_golden_compat () =
+  List.iter
+    (fun (file, which) ->
+      let events = Experiments.Invariants.canonical_trace which in
+      let w = Trace.Binary.writer () in
+      List.iter (Trace.Binary.sink w) events;
+      match Trace.Binary.decode_string (Trace.Binary.contents w) with
+      | Error m -> Alcotest.failf "%s: binary decode: %s" file m
+      | Ok decoded ->
+        let rendered = List.map Event.to_jsonl decoded in
+        Alcotest.(check (list string))
+          (file ^ " via binary sink, byte-exact")
+          (read_lines (fixture_path file))
+          rendered)
     fixtures
 
 (* --- Differential Walk <-> Netsim property --- *)
@@ -511,5 +587,14 @@ let () =
         ] );
       ( "fixtures",
         [ Alcotest.test_case "replay and diff" `Quick test_fixture_replay ] );
+      ( "binary",
+        [
+          prop_binary_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_binary_rejects_garbage;
+          Alcotest.test_case "writer grows and resets" `Quick
+            test_binary_writer_reset;
+          Alcotest.test_case "golden fixtures via binary sink" `Quick
+            test_binary_golden_compat;
+        ] );
       ("differential", [ prop_walk_netsim_identical ]);
     ]

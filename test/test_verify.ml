@@ -148,7 +148,7 @@ let empirical g ~plan ~policy ~src ~dst ~failed ~packets ~seed =
     (fun v ->
       Netsim.Karnet.install_edge net v
         ~reencode:(fun (p : Netsim.Packet.t) ->
-          Kar.Controller.reencode cache ~at:v ~dst:p.Netsim.Packet.dst)
+          Kar.Controller.reencode cache ~at:v ~dst:(Netsim.Packet.dst p))
         ~receive:(fun _ _ -> ())
         ())
     (Graph.edge_nodes g);
@@ -309,7 +309,18 @@ let test_counterexamples_machine_check () =
           | Ok e' ->
             Alcotest.(check bool) (what ^ ": jsonl roundtrip") true (e = e')
           | Error m -> Alcotest.failf "%s: jsonl parse failed: %s" what m)
-        cx.Verify.cx_events)
+        cx.Verify.cx_events;
+      (* and through the compact binary format, losslessly and in order *)
+      (match
+         Trace.Binary.decode_string
+           (Trace.Binary.encode_events cx.Verify.cx_events)
+       with
+       | Ok events ->
+         Alcotest.(check bool)
+           (what ^ ": binary roundtrip")
+           true
+           (events = cx.Verify.cx_events)
+       | Error m -> Alcotest.failf "%s: binary decode failed: %s" what m))
     r.Verify.counterexamples
 
 let test_no_delivery_verdicts_replay_empirically () =

@@ -248,6 +248,264 @@ let prop_serial_total =
       match Topo.Serial.of_string s with
       | Ok _ | Error _ -> true)
 
+(* --- flat packet image --- *)
+
+module F = Wire.Flat
+module Packet = Netsim.Packet
+
+let stamp_all b ~uid ~src ~dst ~size_bytes ~route_id ~hops ~reencoded
+    ~deflected =
+  F.stamp b ~uid ~src ~dst ~size_bytes ~route_id;
+  F.set_hops b hops;
+  F.set_reencoded b reencoded;
+  F.set_deflected b deflected
+
+let test_flat_roundtrip_known () =
+  let b = F.create () in
+  Alcotest.(check bool) "fresh image not live" false (F.live b);
+  Alcotest.(check int) "fresh image zero limbs" 0 (F.limbs b);
+  List.iter
+    (fun (uid, src, dst, size_bytes, rid) ->
+      let route_id = Z.of_string rid in
+      F.stamp b ~uid ~src ~dst ~size_bytes ~route_id;
+      Alcotest.(check int) "uid" uid (F.uid b);
+      Alcotest.(check int) "src" src (F.src b);
+      Alcotest.(check int) "dst" dst (F.dst b);
+      Alcotest.(check int) "size" size_bytes (F.size_bytes b);
+      Alcotest.(check string) "route id" rid (Z.to_string (F.route_id b));
+      Alcotest.(check int) "hops cleared" 0 (F.hops b);
+      Alcotest.(check int) "reencoded cleared" 0 (F.reencoded b);
+      Alcotest.(check bool) "deflected cleared" false (F.deflected b);
+      Alcotest.(check bool) "live after stamp" true (F.live b);
+      Alcotest.(check int) "wire version" H.current_version (F.version b);
+      Alcotest.(check bool) "route_id_equal self" true
+        (F.route_id_equal b route_id);
+      Alcotest.(check bool) "route_id_equal other" false
+        (F.route_id_equal b (Z.add route_id Z.one)))
+    [ (0, 0, 0, 0, "0");
+      (7, 1, 5, 512, "44");
+      (max_int, 0xFFFF_FFFF, 0xFFFF_FFFF, 0xFFFF_FFFF, "660");
+      (42, 1001, 1003, 1500, "340282366920938463463374607431768211455") ]
+
+let test_flat_field_edges () =
+  (* hops/reencoded are u16 counters, deflected is a flag bit next to live:
+     each must round-trip at both ends without disturbing its neighbours *)
+  let b = F.create () in
+  let rid = Z.of_string "4409424109091" in
+  F.stamp b ~uid:9 ~src:2 ~dst:3 ~size_bytes:64 ~route_id:rid;
+  List.iter
+    (fun v ->
+      F.set_hops b v;
+      Alcotest.(check int) (Printf.sprintf "hops %d" v) v (F.hops b))
+    [ 0; 1; 255; 256; 65535 ];
+  List.iter
+    (fun v ->
+      F.set_reencoded b v;
+      Alcotest.(check int) (Printf.sprintf "reencoded %d" v) v (F.reencoded b))
+    [ 0; 1; 65535 ];
+  F.set_deflected b true;
+  Alcotest.(check bool) "deflected set" true (F.deflected b);
+  Alcotest.(check bool) "live undisturbed" true (F.live b);
+  F.set_live b false;
+  Alcotest.(check bool) "deflected undisturbed" true (F.deflected b);
+  F.set_deflected b false;
+  Alcotest.(check bool) "deflected cleared" false (F.deflected b);
+  Alcotest.(check string) "route id undisturbed by flag churn"
+    "4409424109091" (Z.to_string (F.route_id b))
+
+let test_flat_rejects_oversize () =
+  let b = F.create () in
+  (match F.set_route_id b (Z.pow Z.two 1000) with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "oversize route id accepted");
+  match F.set_route_id b (Z.of_int (-5)) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative route id accepted"
+
+(* random route IDs across the full width range, weighted to include the
+   992-bit maximum (32 limbs) the image can hold *)
+let gen_route_wide =
+  QCheck2.Gen.(
+    let* limbs = 1 -- 32 in
+    let* full_width = bool in
+    let* parts = list_size (pure limbs) (map Int64.abs int64) in
+    (* fold MSB-first; when asked, pin the top limb's high bit so max-width
+       (992-bit, 32-limb) images are exercised without overflowing them *)
+    let z =
+      List.fold_left
+        (fun (acc, first) p ->
+          let limb = Int64.to_int (Int64.logand p 0x7FFFFFFFL) in
+          let limb =
+            if first && full_width then limb lor 0x4000_0000 else limb
+          in
+          (Z.add (Z.shift_left acc 31) (Z.of_int limb), false))
+        (Z.zero, true) parts
+      |> fst
+    in
+    pure z)
+
+let prop_flat_roundtrip =
+  qtest ~count:300 "flat image round-trips every field"
+    QCheck2.Gen.(
+      tup4 gen_route_wide (0 -- 0xFFFF) (0 -- 65535) (pair bool (0 -- 1000)))
+    (fun (rid, src, hops, (deflected, uid)) ->
+      let b = F.create () in
+      stamp_all b ~uid ~src ~dst:(src + 1) ~size_bytes:1500 ~route_id:rid
+        ~hops ~reencoded:(hops lsr 4) ~deflected;
+      F.uid b = uid && F.src b = src
+      && F.dst b = src + 1
+      && F.size_bytes b = 1500 && F.hops b = hops
+      && F.reencoded b = hops lsr 4
+      && F.deflected b = deflected
+      && Z.equal (F.route_id b) rid
+      && F.route_id_equal b rid
+      && F.rem_route_id b 13 = Z.rem_int rid 13)
+
+(* the Packet record wraps the image: its accessors and the raw image must
+   never disagree *)
+let prop_packet_accessors_match_flat =
+  qtest ~count:200 "Packet accessors agree with the underlying image"
+    QCheck2.Gen.(pair gen_route_wide (1 -- 1_000_000))
+    (fun (rid, uid) ->
+      let p =
+        Packet.make ~uid ~src:3 ~dst:9 ~size_bytes:256 ~route_id:rid
+          ~born:0.25 Packet.Raw
+      in
+      Packet.set_hops p 7;
+      Packet.set_reencoded p 2;
+      Packet.set_deflected p true;
+      let b = Packet.bytes p in
+      Packet.uid p = F.uid b && Packet.src p = F.src b
+      && Packet.dst p = F.dst b
+      && Packet.size_bytes p = F.size_bytes b
+      && Packet.hops p = F.hops b
+      && Packet.reencoded p = F.reencoded b
+      && Packet.deflected p = F.deflected b
+      && Z.equal (Packet.route_id p) (F.route_id b)
+      && Packet.born p = 0.25)
+
+(* --- flat vs record forwarding: the data plane must be indistinguishable —
+   same computed port, same packed decision, same PRNG stream — for every
+   net15 core switch, every port-liveness mask, every policy *)
+
+let test_flat_vs_record_decide () =
+  let sc = Topo.Nets.net15 in
+  let g = sc.Topo.Nets.graph in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Full in
+  let other = Z.add plan.Kar.Route.route_id Z.one in
+  let b = F.create () in
+  List.iter
+    (fun (r : Rns.residue) ->
+      let sw = r.Rns.modulus in
+      let v = Topo.Graph.node_of_label g sw in
+      let degree = Topo.Graph.degree g v in
+      List.iter
+        (fun route_id ->
+          F.stamp b ~uid:1 ~src:0 ~dst:1 ~size_bytes:64 ~route_id;
+          Alcotest.(check int)
+            (Printf.sprintf "computed_port SW%d" sw)
+            (Kar.Policy.computed_port ~switch_id:sw ~route_id)
+            (Kar.Policy.computed_port_flat ~switch_id:sw b);
+          Alcotest.(check int)
+            (Printf.sprintf "cached_port SW%d" sw)
+            (Kar.Route.cached_port plan ~route_id ~switch_id:sw)
+            (Kar.Route.cached_port_flat plan b ~switch_id:sw);
+          let computed_rec =
+            Kar.Route.cached_port plan ~route_id ~switch_id:sw
+          in
+          let computed_flat = Kar.Route.cached_port_flat plan b ~switch_id:sw in
+          for mask = 0 to (1 lsl degree) - 1 do
+            let ports =
+              Array.init degree (fun p ->
+                  let far =
+                    (Topo.Graph.other_end (Topo.Graph.link_at g v p) v)
+                      .Topo.Graph.node
+                  in
+                  {
+                    Kar.Policy.up = mask land (1 lsl p) <> 0;
+                    to_host = not (Topo.Graph.is_core g far);
+                  })
+            in
+            List.iter
+              (fun policy ->
+                List.iter
+                  (fun deflected ->
+                    let seed = (sw * 7919) + (mask * 31) + 1 in
+                    let rng_rec = Util.Prng.of_int seed in
+                    let rng_flat = Util.Prng.of_int seed in
+                    let d_rec =
+                      Kar.Policy.decide policy ~computed:computed_rec
+                        ~in_port:0 ~deflected ~ports rng_rec
+                    in
+                    let d_flat =
+                      Kar.Policy.decide policy ~computed:computed_flat
+                        ~in_port:0 ~deflected ~ports rng_flat
+                    in
+                    if d_rec <> d_flat then
+                      Alcotest.failf
+                        "SW%d mask %#x policy %s deflected %b: record %d, \
+                         flat %d"
+                        sw mask
+                        (Kar.Policy.to_string policy)
+                        deflected d_rec d_flat;
+                    (* the PRNG streams must stay draw-for-draw aligned *)
+                    if Util.Prng.next rng_rec <> Util.Prng.next rng_flat then
+                      Alcotest.failf
+                        "SW%d mask %#x policy %s: PRNG streams diverged" sw
+                        mask
+                        (Kar.Policy.to_string policy))
+                  [ false; true ])
+              Kar.Policy.all
+          done)
+        [ plan.Kar.Route.route_id; other ])
+    plan.Kar.Route.residues
+
+(* The acceptance bar of this layer: a whole steady-state simulated packet
+   — pool acquire, stamp, four hop decisions off the limb view, release —
+   touches the minor heap not at all once the pool is warm.  (The bench
+   gauge gc/forward-minor-words-per-packet reports the same quantity;
+   this pins it in the suite.) *)
+let test_flat_packet_zero_alloc () =
+  let sc = Topo.Nets.net15 in
+  let g = sc.Topo.Nets.graph in
+  let plan = Kar.Controller.scenario_plan sc Kar.Controller.Full in
+  let route_id = plan.Kar.Route.route_id in
+  let v13 = Topo.Graph.node_of_label g 13 in
+  let ports =
+    Array.init (Topo.Graph.degree g v13) (fun p ->
+        let far =
+          (Topo.Graph.other_end (Topo.Graph.link_at g v13 p) v13)
+            .Topo.Graph.node
+        in
+        { Kar.Policy.up = true; to_host = not (Topo.Graph.is_core g far) })
+  in
+  let rng = Util.Prng.of_int 9 in
+  let pool = Packet.Pool.create () in
+  let born = Sys.opaque_identity 0.0 in
+  let packet_round i =
+    let p = Packet.Pool.acquire pool in
+    Packet.stamp p ~uid:i ~src:1 ~dst:5 ~size_bytes:512 ~route_id ~born
+      Packet.Raw;
+    let b = Packet.bytes p in
+    for hop = 0 to 3 do
+      Packet.set_hops p hop;
+      let c = Kar.Route.cached_port_flat plan b ~switch_id:13 in
+      ignore
+        (Sys.opaque_identity
+           (Kar.Policy.decide Kar.Policy.Not_input_port ~computed:c
+              ~in_port:0 ~deflected:false ~ports rng))
+    done;
+    Packet.Pool.release pool p
+  in
+  for i = 1 to 100 do packet_round i done;
+  let iters = 100_000 in
+  let w0 = Gc.minor_words () in
+  for i = 1 to iters do packet_round i done;
+  let delta = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f minor words over %d packets" delta iters)
+    true (delta <= 256.0)
+
 let () =
   Alcotest.run "wire"
     [
@@ -274,5 +532,21 @@ let () =
           Alcotest.test_case "comments and blanks" `Quick test_serial_comments_and_blank_lines;
           Alcotest.test_case "parse errors" `Quick test_serial_errors;
           prop_serial_roundtrip_generated; prop_serial_total;
+        ] );
+      ( "flat",
+        [
+          Alcotest.test_case "roundtrip (known values)" `Quick
+            test_flat_roundtrip_known;
+          Alcotest.test_case "counter and flag edges" `Quick
+            test_flat_field_edges;
+          Alcotest.test_case "oversize/negative rejected" `Quick
+            test_flat_rejects_oversize;
+          prop_flat_roundtrip;
+          prop_packet_accessors_match_flat;
+          Alcotest.test_case
+            "flat vs record: every switch x mask x policy" `Quick
+            test_flat_vs_record_decide;
+          Alcotest.test_case "whole packet allocates nothing" `Quick
+            test_flat_packet_zero_alloc;
         ] );
     ]

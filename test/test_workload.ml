@@ -239,7 +239,7 @@ let prop_cbr_conservation =
         (fun v ->
           Netsim.Karnet.install_edge net v
             ~reencode:(fun p ->
-              Kar.Controller.reencode cache ~at:v ~dst:p.Netsim.Packet.dst)
+              Kar.Controller.reencode cache ~at:v ~dst:(Netsim.Packet.dst p))
             ~receive:(fun _ _ -> incr received)
             ())
         (Topo.Graph.edge_nodes g);
