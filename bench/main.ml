@@ -217,7 +217,32 @@ let tests =
     Test.make ~name:"verify/compile-net15-plan"
       (Staged.stage (fun () ->
            Kar_verify.Compiler.compile net15.Topo.Nets.graph ~plan:plan_full
-             ~policy:Kar.Policy.Not_input_port))
+             ~policy:Kar.Policy.Not_input_port));
+    (* metrics registry: the two hot-path update kernels (a handful of ns,
+       zero minor words) and the cost of serialising a netsim-sized schema
+       to one JSONL snapshot line (paid only at snapshot intervals) *)
+    Test.make ~name:"obs/counter-incr"
+      (Staged.stage
+         (let r = Kar_obs.Registry.create () in
+          let c = Kar_obs.Registry.counter r "bench/c" in
+          fun () -> Kar_obs.Registry.incr c));
+    Test.make ~name:"obs/histogram-observe"
+      (Staged.stage
+         (let r = Kar_obs.Registry.create () in
+          let h = Kar_obs.Registry.histogram r "bench/h-ns" in
+          let i = ref 0 in
+          fun () ->
+            i := (!i + 7919) land 0xFFFFF;
+            Kar_obs.Registry.observe h !i));
+    Test.make ~name:"obs/snapshot-line"
+      (Staged.stage
+         (let r = Kar_obs.Registry.create () in
+          let engine = Netsim.Engine.create () in
+          let net = Netsim.Net.create ~graph:net15.Topo.Nets.graph ~engine ~registry:r () in
+          ignore net;
+          let h = Kar_obs.Registry.histogram r "bench/lat-ns" in
+          for i = 1 to 1000 do Kar_obs.Registry.observe h (i * 997) done;
+          fun () -> Kar_obs.Export.snapshot_line ~t:1.0 r))
   ]
 
 let run_benchmarks ~quota () =
@@ -263,11 +288,27 @@ let print_benchmarks rows =
    per second, the whole-stack number the kernel improvements must show up
    in. *)
 
-let netsim_packets_per_sec ~packets =
+let netsim_packets_per_sec ?(metrics = false) ~packets () =
   let sc = Topo.Nets.net15 in
   let g = sc.Topo.Nets.graph in
   let engine = Netsim.Engine.create () in
   let net = Netsim.Net.create ~graph:g ~engine () in
+  (* [metrics]: the full --metrics export path on top of the always-on
+     registry counters — a self-chaining snapshot event serialising the
+     whole registry to JSONL 64 times over the run *)
+  if metrics then begin
+    let sink = Buffer.create 65536 in
+    let every = float_of_int packets *. 2e-5 /. 64.0 in
+    let reg = Netsim.Net.registry net in
+    let rec snap () =
+      Buffer.add_string sink
+        (Kar_obs.Export.snapshot_line ~t:(Netsim.Engine.now engine) reg);
+      Buffer.add_char sink '\n';
+      if Netsim.Engine.pending engine > 0 then
+        ignore (Netsim.Engine.schedule_in engine every snap)
+    in
+    ignore (Netsim.Engine.schedule_in engine every snap)
+  end;
   let plan = Kar.Controller.scenario_plan sc Kar.Controller.Full in
   Netsim.Karnet.install_switches ~plan net ~policy:Kar.Policy.Not_input_port
     ~seed:1;
@@ -462,6 +503,31 @@ let verify_entries () =
     ("verify/failure-sets-per-sec-j4", j4);
   ]
 
+(* --- metrics-overhead gauges ---
+
+   [obs/metrics-pps-ratio] is the whole-stack cost of observability: the
+   netsim throughput probe with the full --metrics export path (periodic
+   JSONL snapshots of the whole registry) over the same probe without it.
+   Both sides take the best of 3 runs, which filters scheduler noise; the
+   gate is an absolute floor of 0.95 (snapshots may cost at most 5% of
+   packet throughput).  The always-on registry counters are part of both
+   sides — their cost is bounded separately by the bechamel kernels
+   [obs/counter-incr]/[obs/histogram-observe] and by the unchanged
+   [netsim/packets-per-sec] baseline. *)
+
+let obs_entries ~packets =
+  let best_of ~metrics =
+    let best = ref 0.0 in
+    for _ = 1 to 3 do
+      let pps = netsim_packets_per_sec ~metrics ~packets () in
+      if pps > !best then best := pps
+    done;
+    !best
+  in
+  let off = best_of ~metrics:false in
+  let on = best_of ~metrics:true in
+  [ ("obs/metrics-pps-ratio", on /. off) ]
+
 (* --- machine-readable output (a flat {"key": number} JSON object) --- *)
 
 let json_escape name =
@@ -588,6 +654,16 @@ let check_entry (key, baseline) fresh =
                dispatch is pathologically slow)"
               key now cores)
        | _ -> None)
+    else if key = "obs/metrics-pps-ratio" then
+      (* Absolute floor, not baseline-relative: the metrics export path
+         must never cost more than 5% of netsim packet throughput. *)
+      if now < 0.95 then
+        Some
+          (Printf.sprintf
+             "%s: %.3f (metrics-on netsim throughput fell below 95%% of \
+              metrics-off)"
+             key now)
+      else None
     else if key = "svc/hit-ratio" then
       (* Deterministic in the workload: an absolute drop means the cache,
          the epochs, or the generator changed behaviour. *)
@@ -615,7 +691,7 @@ let measure_all ~quota ~packets =
   let kernels =
     List.filter_map (fun (n, v) -> Option.map (fun est -> (n, est)) v) rows
   in
-  let pps = netsim_packets_per_sec ~packets in
+  let pps = netsim_packets_per_sec ~packets () in
   let words = forward_minor_words_per_packet ~iters:100_000 in
   Printf.printf "netsim end-to-end: %.0f packets/s\n" pps;
   Printf.printf "steady-state forward path: %.3f minor words/packet\n" words;
@@ -625,11 +701,13 @@ let measure_all ~quota ~packets =
   List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) svc;
   let verify = verify_entries () in
   List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) verify;
+  let obs = obs_entries ~packets in
+  List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) obs;
   print_newline ();
   kernels
   @ [ ("netsim/packets-per-sec", pps);
       ("gc/forward-minor-words-per-packet", words) ]
-  @ pool @ svc @ verify
+  @ pool @ svc @ verify @ obs
 
 let run_experiments () =
   let profile = Experiments.Profile.from_env () in

@@ -4,22 +4,55 @@
 
 module Registry = Experiments.Registry
 
-let run_entry profile (en : Registry.entry) =
-  print_string (en.Registry.run profile);
+let run_entry ~metrics profile (en : Registry.entry) =
+  let render =
+    match (metrics, en.Registry.metrics) with
+    | true, Some f -> f
+    | _ -> en.Registry.run
+  in
+  print_string (render profile);
   print_newline ()
 
-let run_one profile name =
+let unknown_name name =
+  let nearest, d = Registry.nearest name in
+  if d <= max 2 (String.length name / 2) then
+    Printf.eprintf
+      "unknown experiment %S; did you mean %S? (--list shows all ids)\n" name
+      nearest
+  else Printf.eprintf "unknown experiment %S; --list shows all ids\n" name;
+  exit 1
+
+let run_one ~metrics profile name =
   match Registry.find name with
-  | `Entry en -> run_entry profile en
-  | `Group g -> List.iter (run_entry profile) g.Registry.entries
-  | `Unknown ->
-    let nearest, d = Registry.nearest name in
-    if d <= max 2 (String.length name / 2) then
-      Printf.eprintf
-        "unknown experiment %S; did you mean %S? (--list shows all ids)\n"
-        name nearest
-    else Printf.eprintf "unknown experiment %S; --list shows all ids\n" name;
-    exit 1
+  | `Entry en -> run_entry ~metrics profile en
+  | `Group g -> List.iter (run_entry ~metrics profile) g.Registry.entries
+  | `Unknown -> unknown_name name
+
+(* --list: the whole catalogue, or just the named experiments/groups
+   (aliases resolve here exactly as they do when running).  Entries
+   instrumented on the unified metrics registry are marked. *)
+let print_entry (en : Registry.entry) =
+  Printf.printf "  %-10s %s%s\n" en.Registry.id en.Registry.doc
+    (if en.Registry.metrics <> None then " [metrics]" else "")
+
+let print_group (g : Registry.group) =
+  Printf.printf "%s (alias: %s):\n" g.Registry.name g.Registry.alias;
+  List.iter print_entry g.Registry.entries
+
+let list_catalogue names =
+  (match names with
+   | [] -> List.iter print_group Registry.groups
+   | names ->
+     List.iter
+       (fun name ->
+         match Registry.find name with
+         | `Entry en -> print_entry en
+         | `Group g -> print_group g
+         | `Unknown -> unknown_name name)
+       names);
+  print_string
+    "entries marked [metrics] emit unified-registry snapshots under \
+     --metrics\n"
 
 open Cmdliner
 
@@ -31,8 +64,20 @@ let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let list_flag =
-  let doc = "List available experiment ids and exit." in
+  let doc =
+    "List available experiment ids and exit (with names: only those \
+     experiments or groups).  Entries marked $(b,[metrics]) support \
+     --metrics."
+  in
   Arg.(value & flag & info [ "list" ] ~doc)
+
+let metrics_flag =
+  let doc =
+    "Append the unified metrics-registry summary (and span table) to the \
+     output of metrics-capable experiments ($(b,--list) marks them); \
+     other experiments run unchanged."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
 
 let paper_flag =
   let doc =
@@ -72,17 +117,9 @@ let setup_logging () =
     Logs.set_level level
   | None -> ()
 
-let main names list paper jobs max_k =
+let main names list metrics paper jobs max_k =
   setup_logging ();
-  if list then
-    List.iter
-      (fun (g : Registry.group) ->
-        Printf.printf "%s (alias: %s):\n" g.Registry.name g.Registry.alias;
-        List.iter
-          (fun (en : Registry.entry) ->
-            Printf.printf "  %-10s %s\n" en.Registry.id en.Registry.doc)
-          g.Registry.entries)
-      Registry.groups
+  if list then list_catalogue names
   else begin
     Util.Pool.set_jobs (if jobs > 0 then jobs else Util.Pool.default_jobs ());
     if max_k > 0 then Experiments.Verify.max_k_override := Some max_k;
@@ -90,14 +127,16 @@ let main names list paper jobs max_k =
       if paper then Experiments.Profile.paper else Experiments.Profile.from_env ()
     in
     match names with
-    | [] -> List.iter (run_entry profile) Registry.all
-    | names -> List.iter (run_one profile) names
+    | [] -> List.iter (run_entry ~metrics profile) Registry.all
+    | names -> List.iter (run_one ~metrics profile) names
   end
 
 let cmd =
   let doc = "Regenerate the KAR paper's tables and figures" in
   let info = Cmd.info "kar_experiments" ~doc in
   Cmd.v info
-    Term.(const main $ names_arg $ list_flag $ paper_flag $ jobs_arg $ max_k_arg)
+    Term.(
+      const main $ names_arg $ list_flag $ metrics_flag $ paper_flag
+      $ jobs_arg $ max_k_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -59,11 +59,10 @@ let report_to_string (r : Server.report) =
       ("virtual throughput (req/s)", Printf.sprintf "%.0f" r.Server.virtual_rps);
       ("cache hit ratio", Printf.sprintf "%.1f%%" (100.0 *. r.Server.hit_ratio));
       ( "cache hits/misses/stale",
-        Printf.sprintf "%d/%d/%d" r.Server.cache.Kar_service.Cache.hits
-          r.Server.cache.Kar_service.Cache.misses
-          r.Server.cache.Kar_service.Cache.stale );
-      ("cache evictions", string_of_int r.Server.cache.Kar_service.Cache.evictions);
-      ("topology epoch", string_of_int r.Server.cache.Kar_service.Cache.epoch);
+        Printf.sprintf "%d/%d/%d" r.Server.cache_hits r.Server.cache_misses
+          r.Server.cache_stale );
+      ("cache evictions", string_of_int r.Server.cache_evictions);
+      ("topology epoch", string_of_int r.Server.epoch);
       ("latency mean (ms)", ms r.Server.mean_latency);
       ("latency p50 (ms)", ms r.Server.p50);
       ("latency p95 (ms)", ms r.Server.p95);
@@ -79,7 +78,8 @@ let report_to_string (r : Server.report) =
     ]
 
 let run net requests rate skew seed levels cache_cap batch_size batch_delay
-    workers fail_at repair_at fail_link trace jobs =
+    workers fail_at repair_at fail_link trace metrics metrics_every metrics_prom
+    jobs =
   Util.Pool.set_jobs (if jobs > 0 then jobs else Util.Pool.default_jobs ());
   let graph, failure_cases = graph_of_net net in
   let spec =
@@ -130,10 +130,34 @@ let run net requests rate skew seed levels cache_cap batch_size batch_delay
           output_string oc (Kar_service.Event.to_jsonl e);
           output_char oc '\n')
   in
+  let metrics_out =
+    Option.map (fun f -> if f = "-" then stdout else open_out f) metrics
+  in
+  let metrics_sink =
+    Option.map
+      (fun oc line ->
+        output_string oc line;
+        output_char oc '\n')
+      metrics_out
+  in
   let server = Server.create ~config ~graph () in
-  let report = Server.run server ?sink ~failures reqs in
+  let report =
+    Server.run server ?sink ~failures ?metrics_every ?metrics_sink reqs
+  in
   Option.iter close_out trace_out;
-  print_string (report_to_string report)
+  Option.iter (fun oc -> if oc != stdout then close_out oc) metrics_out;
+  (match metrics_prom with
+   | None -> ()
+   | Some f ->
+     let oc = open_out f in
+     output_string oc (Kar_obs.Export.prometheus (Server.registry server));
+     close_out oc);
+  print_string (report_to_string report);
+  if metrics <> None || metrics_prom <> None then begin
+    print_string "\n-- metrics --\n";
+    print_string (Kar_obs.Export.summary (Server.registry server));
+    print_string (Kar_obs.Span.summary (Server.spans server))
+  end
 
 open Cmdliner
 
@@ -211,6 +235,25 @@ let trace_arg =
   let doc = "Write the deterministic service event stream to $(docv) as JSONL." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let metrics_arg =
+  let doc = "Emit periodic sim-clock metrics snapshots (the whole registry \
+             as one flat JSON object per interval) to $(docv) as a JSONL \
+             time series; $(b,-) writes to stdout.  Byte-identical at any \
+             $(b,-j)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let metrics_every_arg =
+  let doc = "Virtual seconds between metrics snapshots (default: arrival \
+             horizon / 64)." in
+  Arg.(value & opt (some float) None & info [ "metrics-every" ] ~docv:"S" ~doc)
+
+let metrics_prom_arg =
+  let doc = "Dump the end-of-run registry to $(docv) in Prometheus text \
+             exposition format." in
+  Arg.(value
+       & opt (some string) None
+       & info [ "metrics-prom" ] ~docv:"FILE" ~doc)
+
 let jobs_arg =
   let doc = "Worker domains for batch plan computation.  Reports are \
              byte-identical at any value.  Defaults to $(b,KAR_JOBS) if \
@@ -224,6 +267,7 @@ let cmd =
     Term.(
       const run $ net_arg $ requests_arg $ rate_arg $ skew_arg $ seed_arg
       $ levels_arg $ cache_arg $ batch_size_arg $ batch_delay_arg $ workers_arg
-      $ fail_at_arg $ repair_at_arg $ fail_link_arg $ trace_arg $ jobs_arg)
+      $ fail_at_arg $ repair_at_arg $ fail_link_arg $ trace_arg $ metrics_arg
+      $ metrics_every_arg $ metrics_prom_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

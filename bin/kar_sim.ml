@@ -34,11 +34,11 @@ type trace_format = Jsonl | Binary
 let trace_format_conv = Arg.enum [ ("jsonl", Jsonl); ("binary", Binary) ]
 
 let print_stats g net =
-  let ps = Netsim.Net.pool_stats net in
+  let pool = Netsim.Net.pool net in
   Printf.printf
     "pool: %d hits, %d grows, %d in flight, %d releases\n"
-    ps.Netsim.Packet.Pool.hits ps.Netsim.Packet.Pool.grows
-    ps.Netsim.Packet.Pool.in_flight ps.Netsim.Packet.Pool.releases;
+    (Netsim.Packet.Pool.hits pool) (Netsim.Packet.Pool.grows pool)
+    (Netsim.Packet.Pool.in_flight pool) (Netsim.Packet.Pool.releases pool);
   List.iter
     (fun v ->
       let d = Netsim.Net.deflections_at net v
@@ -59,7 +59,8 @@ let print_stats g net =
   done
 
 let run topo src_label dst_label policy fail fail_at fail_for duration
-    protect_bits seed trace_file trace_format stats check_invariants =
+    protect_bits seed trace_file trace_format stats metrics metrics_prom
+    check_invariants =
   match Topo.Serial.load topo with
   | Error e -> `Error (false, Format.asprintf "%s: %a" topo Topo.Serial.pp_error e)
   | Ok g ->
@@ -157,6 +158,12 @@ let run topo src_label dst_label policy fail fail_at fail_for duration
          (ns.Netsim.Net.dropped_link_down + ns.Netsim.Net.dropped_queue_full
         + ns.Netsim.Net.dropped_no_route + ns.Netsim.Net.dropped_ttl);
        if stats then print_stats g net;
+       if metrics then begin
+         print_string "\n-- metrics --\n";
+         print_string (Kar_obs.Export.summary (Netsim.Net.registry net))
+       end;
+       if metrics_prom then
+         print_string (Kar_obs.Export.prometheus (Netsim.Net.registry net));
        Option.iter close_out trace_oc;
        (match (binary_writer, trace_file) with
         | Some w, Some file -> Trace.Binary.to_file w file
@@ -302,6 +309,17 @@ let sim_term =
                  deflection/driven tallies and per-link queue drops after \
                  the run.")
   in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Print the unified metrics registry (netsim/*, engine/* \
+                 counters, gauges and probes) as a terminal summary after \
+                 the run.")
+  in
+  let metrics_prom =
+    Arg.(value & flag & info [ "metrics-prom" ]
+           ~doc:"Dump the metrics registry in Prometheus text exposition \
+                 format after the run.")
+  in
   let check_invariants =
     Arg.(value & flag & info [ "check-invariants" ]
            ~doc:"Replay the flight record after the run and verify the \
@@ -313,7 +331,7 @@ let sim_term =
     ret
       (const run $ topo $ src $ dst $ policy $ fail $ fail_at $ fail_for
       $ duration $ protect_bits $ seed $ trace $ trace_format $ stats
-      $ check_invariants))
+      $ metrics $ metrics_prom $ check_invariants))
 
 let convert_cmd =
   let input =

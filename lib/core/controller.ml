@@ -178,10 +178,18 @@ let disjoint_plans g ~src ~dst ~k =
 type cache = {
   graph : Graph.t;
   plans : (Graph.node * Graph.node, Bignum.Z.t option) Hashtbl.t;
-  mutable computed : int;
+  computed_c : Kar_obs.Registry.counter;
 }
 
-let create_cache graph = { graph; plans = Hashtbl.create 64; computed = 0 }
+let create_cache ?registry graph =
+  let r =
+    match registry with Some r -> r | None -> Kar_obs.Registry.create ()
+  in
+  {
+    graph;
+    plans = Hashtbl.create 64;
+    computed_c = Kar_obs.Registry.counter r "ctl/plans-computed";
+  }
 
 let reencode cache ~at ~dst =
   match Hashtbl.find_opt cache.plans (at, dst) with
@@ -191,8 +199,8 @@ let reencode cache ~at ~dst =
       try Some (route cache.graph ~src:at ~dst ~protection:[]).Route.route_id
       with Invalid_argument _ -> None
     in
-    cache.computed <- cache.computed + 1;
+    Kar_obs.Registry.incr cache.computed_c;
     Hashtbl.replace cache.plans (at, dst) result;
     result
 
-let plans_computed cache = cache.computed
+let plans_computed cache = Kar_obs.Registry.value cache.computed_c

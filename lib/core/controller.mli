@@ -71,7 +71,9 @@ val disjoint_plans :
     [(edge, destination)] pair. *)
 type cache
 
-val create_cache : Graph.t -> cache
+(** [create_cache ?registry g] — the [ctl/plans-computed] counter registers
+    on [registry] (a fresh private registry when omitted). *)
+val create_cache : ?registry:Kar_obs.Registry.t -> Graph.t -> cache
 
 (** [reencode cache ~at ~dst] is the fresh route ID from edge [at] to edge
     [dst], or [None] when no path exists or encoding fails. *)

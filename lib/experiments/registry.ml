@@ -2,6 +2,7 @@ type entry = {
   id : string;
   doc : string;
   run : Profile.t -> string;
+  metrics : (Profile.t -> string) option;
 }
 
 type group = {
@@ -10,7 +11,7 @@ type group = {
   entries : entry list;
 }
 
-let e id doc run = { id; doc; run }
+let e ?metrics id doc run = { id; doc; run; metrics }
 
 let groups =
   [
@@ -91,7 +92,8 @@ let groups =
           e "verify"
             "Exhaustive k-failure resilience verifier (compiled tables, \
              adversarial deflection)"
-            (fun _ -> Verify.to_string ());
+            (fun _ -> Verify.to_string ())
+            ~metrics:(fun _ -> Verify.to_string ~metrics:true ());
         ];
     };
     {
@@ -100,7 +102,8 @@ let groups =
       entries =
         [
           e "svc" "Online plan server: steady state, skew sweep, replan storm"
-            (fun p -> Service.to_string ~profile:p ());
+            (fun p -> Service.to_string ~profile:p ())
+            ~metrics:(fun p -> Service.to_string ~profile:p ~metrics:true ());
         ];
     };
   ]

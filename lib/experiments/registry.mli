@@ -10,6 +10,12 @@ type entry = {
   id : string;
   doc : string;
   run : Profile.t -> string;
+  metrics : (Profile.t -> string) option;
+      (** metrics-capable entries only (the ones instrumented on the
+          unified {!Kar_obs.Registry}): the renderer used under
+          [kar_experiments --metrics], which appends the registry summary
+          and span table to the normal output.  [None] means the entry
+          runs identically with and without [--metrics]. *)
 }
 
 type group = {

@@ -86,7 +86,7 @@ let skew_sweep_to_string ~paper () =
           ms r.Server.p99;
           string_of_int r.Server.planned;
           string_of_int r.Server.coalesced;
-          string_of_int r.Server.cache.Kar_service.Cache.evictions;
+          string_of_int r.Server.cache_evictions;
         ])
     |> Array.to_list
   in
@@ -108,6 +108,8 @@ type storm = {
   hit_ratio_per_bucket : float array;
   fail_at : float;
   repair_at : float;
+  metrics_summary : string; (* end-of-run registry summary *)
+  span_summary : string;
 }
 
 (* The failed link: a core-core link on the most popular pair's primary
@@ -135,7 +137,9 @@ let storm ?profile () =
   let link = storm_link g in
   let server = Server.create ~graph:g () in
   let report =
-    Server.run server ~failures:[ (fail_at, `Fail link); (repair_at, `Repair link) ] reqs
+    Server.run server ~keep_records:true
+      ~failures:[ (fail_at, `Fail link); (repair_at, `Repair link) ]
+      reqs
   in
   let buckets = 16 in
   let bucket_s = horizon /. float_of_int buckets in
@@ -151,7 +155,15 @@ let storm ?profile () =
         if totals.(b) = 0 then 0.0
         else float_of_int hits.(b) /. float_of_int totals.(b))
   in
-  { report; bucket_s; hit_ratio_per_bucket; fail_at; repair_at }
+  {
+    report;
+    bucket_s;
+    hit_ratio_per_bucket;
+    fail_at;
+    repair_at;
+    metrics_summary = Kar_obs.Export.summary (Server.registry server);
+    span_summary = Kar_obs.Span.summary (Server.spans server);
+  }
 
 let storm_to_string ?profile () =
   let s = storm ?profile () in
@@ -226,10 +238,41 @@ let canonical_trace () =
   in
   Buffer.contents buf
 
-let to_string ?profile () =
+(* --- metrics time series (the --metrics view and its golden fixture) ---
+
+   A canonical kar_serve-style run with one mid-run failure, snapshotted
+   every horizon/16 virtual seconds: the JSONL series shows the replan
+   storm as data — hit-ratio dip, latency p99 spike, recovery.  Committed
+   under test/fixtures/ and byte-compared at -j1/-j8 by test_obs. *)
+let canonical_metrics () =
+  let g = testbed ~n_core:16 () in
+  let sp = { (spec ~requests:1_000) with Workload.seed = 42 } in
+  let reqs = Workload.generate g sp in
+  let horizon = float_of_int sp.Workload.n /. sp.Workload.rate in
+  let link = storm_link g in
+  let buf = Buffer.create (1 lsl 14) in
+  let metrics_sink line =
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n'
+  in
+  let server = Server.create ~graph:g () in
+  let (_ : Server.report) =
+    Server.run server ~metrics_every:(horizon /. 16.0) ~metrics_sink
+      ~failures:[ (0.5 *. horizon, `Fail link) ]
+      reqs
+  in
+  Buffer.contents buf
+
+let metrics_to_string ?profile () =
+  let s = storm ?profile () in
+  "Replan-storm registry snapshot (end of run)\n"
+  ^ s.metrics_summary ^ s.span_summary
+
+let to_string ?profile ?(metrics = false) () =
   let paper = is_paper profile in
   steady_to_string ~paper ()
   ^ "\n"
   ^ skew_sweep_to_string ~paper ()
   ^ "\n"
   ^ storm_to_string ?profile ()
+  ^ (if metrics then "\n" ^ metrics_to_string ?profile () else "")

@@ -38,6 +38,9 @@ type storm = {
   hit_ratio_per_bucket : float array;
   fail_at : float;
   repair_at : float;
+  metrics_summary : string;
+      (** end-of-run {!Kar_obs.Export.summary} of the server registry *)
+  span_summary : string; (** {!Kar_obs.Span.summary} of the control plane *)
 }
 
 (** The link the storm study fails: a core-core link on the most popular
@@ -53,4 +56,17 @@ val storm : ?profile:Profile.t -> unit -> storm
     Byte-identical at any pool width. *)
 val canonical_trace : unit -> string
 
-val to_string : ?profile:Profile.t -> unit -> string
+(** The canonical metrics time series (one {!Kar_obs.Export.snapshot_line}
+    per horizon/16) behind the committed
+    [test/fixtures/service_metrics_1k.jsonl]: the same 16-core testbed and
+    seed with one failure at half-horizon — the replan storm as data.
+    Byte-identical at any pool width. *)
+val canonical_metrics : unit -> string
+
+(** [metrics_to_string ()] renders the storm run's end-of-run registry and
+    span summaries (the [--metrics] view of the [svc] experiment). *)
+val metrics_to_string : ?profile:Profile.t -> unit -> string
+
+(** [to_string ?metrics ()] — [metrics] (default false) appends the
+    registry-snapshot section. *)
+val to_string : ?profile:Profile.t -> ?metrics:bool -> unit -> string

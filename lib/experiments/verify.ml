@@ -3,6 +3,8 @@ module Nets = Topo.Nets
 module Compiler = Kar_verify.Compiler
 module Verifier = Kar_verify.Verifier
 module Counterexample = Kar_verify.Counterexample
+module Registry = Kar_obs.Registry
+module Span = Kar_obs.Span
 
 (* CLI override (kar_experiments --max-k, and the CI smoke run): caps the
    sweep depth on every topology.  Mirrors the Pool.set_jobs precedent of
@@ -71,6 +73,24 @@ let failure_sets links ~k =
   in
   combos k links
 
+(* find-or-create handles: [run] sweeps several topologies over one
+   registry, so the second topology must reuse the metrics the first one
+   registered. *)
+let counter_of r name =
+  match Registry.find r name with
+  | Some (Registry.Counter c) -> c
+  | Some _ -> invalid_arg ("Verify: " ^ name ^ " is not a counter")
+  | None -> Registry.counter r name
+
+let histogram_of r name =
+  match Registry.find r name with
+  | Some (Registry.Histogram h) -> h
+  | Some _ -> invalid_arg ("Verify: " ^ name ^ " is not a histogram")
+  | None -> Registry.histogram r name
+
+let verdict_metric cls =
+  "verify/verdict-" ^ Verifier.classification_to_string cls
+
 let instance_for g ~src ~dst ~policy =
   let plan =
     Kar.Controller.protected_route g ~src ~dst ~level:Kar.Controller.Full
@@ -83,7 +103,17 @@ let ordered_pairs g =
     (fun src -> List.filter_map (fun dst -> if src <> dst then Some (src, dst) else None) edges)
     edges
 
-let run_topology ~name (sc : Nets.scenario) ~max_k ~policy =
+let run_topology ?registry ?spans ~name (sc : Nets.scenario) ~max_k ~policy
+    () =
+  let reg =
+    match registry with Some r -> r | None -> Registry.create ()
+  in
+  (* schema on the main registry, reused across topologies *)
+  ignore (counter_of reg "verify/failure-sets");
+  List.iter
+    (fun cls -> ignore (counter_of reg (verdict_metric cls)))
+    Verifier.all_classifications;
+  ignore (histogram_of reg "verify/states");
   let g = sc.Nets.graph in
   let pairs = ordered_pairs g in
   let instances =
@@ -109,10 +139,48 @@ let run_topology ~name (sc : Nets.scenario) ~max_k ~policy =
              (List.init max_k Fun.id))
          (List.init (Array.length instances) Fun.id))
   in
-  let results =
-    Util.Pool.run units ~f:(fun ~idx:_ (pi, _, failed) ->
-        Verifier.verify instances.(pi) ~failed)
+  (* The sweep counters tally on one registry shard per chunk of units
+     (contiguous chunks; each chunk is a single Pool task, so its shard is
+     touched by exactly one domain).  The shards merge in index order
+     after the join; sums are commutative and associative, so the merged
+     totals — and hence any snapshot — are identical at any -j and any
+     chunk count. *)
+  let n_units = Array.length units in
+  let n_chunks = max 1 (min n_units 64) in
+  let bounds ci = (ci * n_units / n_chunks, (ci + 1) * n_units / n_chunks) in
+  let shards = Registry.shards reg ~n:n_chunks in
+  let result_chunks =
+    Util.Pool.run (Array.init n_chunks Fun.id) ~f:(fun ~idx:_ ci ->
+        let sh = shards.(ci) in
+        let s_sets = counter_of sh "verify/failure-sets" in
+        let s_cls =
+          Array.of_list
+            (List.map
+               (fun cls -> counter_of sh (verdict_metric cls))
+               Verifier.all_classifications)
+        in
+        let s_states = histogram_of sh "verify/states" in
+        let lo, hi = bounds ci in
+        Array.init (hi - lo) (fun j ->
+            let pi, _, failed = units.(lo + j) in
+            let ((cls, outcome) : Verifier.classification * Verifier.outcome)
+                =
+              Verifier.verify instances.(pi) ~failed
+            in
+            Registry.incr s_sets;
+            Registry.incr s_cls.(class_index cls);
+            Registry.observe s_states outcome.Verifier.states;
+            (cls, outcome)))
   in
+  let results = Array.concat (Array.to_list result_chunks) in
+  Array.iter (fun sh -> Registry.merge_into ~into:reg sh) shards;
+  (* the sweep "clock" is its own progress: one unit of virtual time per
+     verified failure set, so the span is deterministic *)
+  Option.iter
+    (fun sp ->
+      Span.record sp Span.Verify_sweep ~t0:0.0 ~t1:(float_of_int n_units)
+        ~detail:n_units)
+    spans;
   (* aggregate *)
   let counts =
     Array.init (Array.length instances) (fun _ ->
@@ -191,10 +259,12 @@ let run_topology ~name (sc : Nets.scenario) ~max_k ~policy =
 let effective_k default =
   match !max_k_override with Some k -> max 1 k | None -> default
 
-let run ?(policy = Kar.Policy.Not_input_port) () =
+let run ?registry ?spans ?(policy = Kar.Policy.Not_input_port) () =
   [
-    run_topology ~name:"net15" Nets.net15 ~max_k:(effective_k 3) ~policy;
-    run_topology ~name:"rnp28" Nets.rnp28 ~max_k:(effective_k 2) ~policy;
+    run_topology ?registry ?spans ~name:"net15" Nets.net15
+      ~max_k:(effective_k 3) ~policy ();
+    run_topology ?registry ?spans ~name:"rnp28" Nets.rnp28
+      ~max_k:(effective_k 2) ~policy ();
   ]
 
 let class_abbrev = function
@@ -272,19 +342,26 @@ let report_to_string (r : topo_report) =
     r.counterexamples;
   Buffer.contents b
 
-let to_string ?policy () =
-  let reports = run ?policy () in
+let to_string ?policy ?(metrics = false) () =
+  let registry = Registry.create () in
+  let spans = Span.create () in
+  let reports = run ~registry ~spans ?policy () in
   "Exhaustive k-failure resilience verification (compiled forwarding \
    tables;\ndeflection draws treated as adversarial choice; G guaranteed, \
    PD policy-dependent,\nL loop, B blackhole, X disconnected)\n\n"
   ^ String.concat "\n" (List.map report_to_string reports)
+  ^
+  if metrics then
+    "\n-- metrics --\n" ^ Kar_obs.Export.summary registry
+    ^ Span.summary spans
+  else ""
 
 (* --- golden fixture (test/fixtures/verify_net15_k2.jsonl) --- *)
 
 let fixture_lines () =
   let r =
     run_topology ~name:"net15" Nets.net15 ~max_k:2
-      ~policy:Kar.Policy.Not_input_port
+      ~policy:Kar.Policy.Not_input_port ()
   in
   let verdicts =
     List.concat_map

@@ -72,17 +72,38 @@ val instance_for :
   policy:Kar.Policy.t ->
   Verifier.instance
 
+(** [run_topology ?registry ?spans ~name sc ~max_k ~policy ()] sweeps one
+    topology.  When [registry] is given, the sweep tallies
+    [verify/failure-sets], one [verify/verdict-*] counter per
+    classification, and the [verify/states] state-space-size histogram —
+    counted on one registry shard per chunk of work
+    ({!Kar_obs.Registry.shards}) and merged after the {!Util.Pool} join,
+    so totals are identical at any [-j].  When [spans] is given, one
+    [Verify_sweep] span is recorded per topology; the sweep has no
+    simulation clock, so the span's virtual time is its own progress (one
+    unit per verified failure set) and [detail] is the unit count. *)
 val run_topology :
+  ?registry:Kar_obs.Registry.t ->
+  ?spans:Kar_obs.Span.t ->
   name:string ->
   Topo.Nets.scenario ->
   max_k:int ->
   policy:Kar.Policy.t ->
+  unit ->
   topo_report
 
-(** [run ()] sweeps both evaluation topologies (NIP by default). *)
-val run : ?policy:Kar.Policy.t -> unit -> topo_report list
+(** [run ()] sweeps both evaluation topologies (NIP by default);
+    [registry]/[spans] as in {!run_topology}. *)
+val run :
+  ?registry:Kar_obs.Registry.t ->
+  ?spans:Kar_obs.Span.t ->
+  ?policy:Kar.Policy.t ->
+  unit ->
+  topo_report list
 
-val to_string : ?policy:Kar.Policy.t -> unit -> string
+(** [to_string ~metrics:true ()] appends the sweep's registry summary and
+    span table to the report. *)
+val to_string : ?policy:Kar.Policy.t -> ?metrics:bool -> unit -> string
 
 (** The golden-fixture content (test/fixtures/verify_net15_k2.jsonl):
     per-pair verdict lines for net15 at k <= 2 plus the first

@@ -6,6 +6,7 @@ type t = {
   mutable stopped : bool;
   mutable done_count : int;
   mutable cancelled_in_heap : int;
+  mutable heap_peak : int;
 }
 
 and event = {
@@ -26,6 +27,7 @@ let create () =
     stopped = false;
     done_count = 0;
     cancelled_in_heap = 0;
+    heap_peak = 0;
   }
 
 let now e = e.clock
@@ -60,6 +62,7 @@ let push e ev =
   e.heap.(e.size) <- ev;
   let i = ref e.size in
   e.size <- e.size + 1;
+  if e.size > e.heap_peak then e.heap_peak <- e.size;
   while !i > 0 && before e.heap.(!i) e.heap.((!i - 1) / 2) do
     swap e ((!i - 1) / 2) !i;
     i := (!i - 1) / 2
@@ -162,3 +165,4 @@ let stop e = e.stopped <- true
 let pending e = e.size - e.cancelled_in_heap
 
 let processed e = e.done_count
+let heap_peak e = e.heap_peak

@@ -43,3 +43,8 @@ val pending : t -> int
 
 (** [processed e] counts callbacks run so far (for bench reporting). *)
 val processed : t -> int
+
+(** [heap_peak e] is the high-watermark heap occupancy (queued events,
+    including cancelled ones still awaiting purge) — an engine queue-depth
+    gauge for the metrics registry. *)
+val heap_peak : t -> int

@@ -24,6 +24,7 @@ let install_switches ?plan net ~policy ~seed =
       let handler net _node (packet : Packet.t) ~in_port =
         let hops = Packet.hops packet + 1 in
         Packet.set_hops packet hops;
+        Net.count_hop net;
         if hops > Net.ttl net then
           Net.drop ~at:v ~in_port net packet Net.Ttl_exceeded
         else begin

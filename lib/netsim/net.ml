@@ -10,16 +10,35 @@ type drop_reason =
   | No_route
   | Ttl_exceeded
 
+module Registry = Kar_obs.Registry
+
+(* Immutable end-of-run snapshot over the registry counters; the live
+   values are ordinary [netsim/*] registry cells. *)
 type stats = {
-  mutable injected : int;
-  mutable delivered : int;
-  mutable dropped_link_down : int;
-  mutable dropped_queue_full : int;
-  mutable dropped_no_route : int;
-  mutable dropped_ttl : int;
-  mutable total_switch_hops : int;
-  mutable deflections : int;
-  mutable reencodes : int;
+  injected : int;
+  delivered : int;
+  dropped_link_down : int;
+  dropped_queue_full : int;
+  dropped_no_route : int;
+  dropped_ttl : int;
+  total_switch_hops : int;
+  deflections : int;
+  reencodes : int;
+}
+
+(* Handles for every hot-path counter: one unsafe int-array poke each, so
+   the forwarding loop keeps its zero-minor-words property. *)
+type counters = {
+  c_injected : Registry.counter;
+  c_delivered : Registry.counter;
+  c_drop_link_down : Registry.counter;
+  c_drop_queue_full : Registry.counter;
+  c_drop_no_route : Registry.counter;
+  c_drop_ttl : Registry.counter;
+  c_switch_hops : Registry.counter;
+  c_deflections : Registry.counter;
+  c_reencodes : Registry.counter;
+  g_queue_peak : Registry.gauge;
 }
 
 (* One direction of a link: a serialising transmitter behind a byte-bounded
@@ -54,7 +73,8 @@ type t = {
   out_channel : channel array array; (* out_channel.(node).(port) *)
   handlers : handler option array;
   port_cache : Kar.Policy.port_state array array;
-  stats : stats;
+  registry : Registry.t;
+  counters : counters;
   pool : Packet.Pool.t;
   mutable next_uid : int;
   (* Observability: [None] recorder (the default) keeps the hot path
@@ -68,21 +88,33 @@ type t = {
 
 and handler = t -> Graph.node -> Packet.t -> in_port:int -> unit
 
-let make_stats () =
+let make_counters r =
+  (* explicit registration order: it is the snapshot column order *)
+  let c_injected = Registry.counter r "netsim/injected" in
+  let c_delivered = Registry.counter r "netsim/delivered" in
+  let c_drop_link_down = Registry.counter r "netsim/drop-link-down" in
+  let c_drop_queue_full = Registry.counter r "netsim/drop-queue-full" in
+  let c_drop_no_route = Registry.counter r "netsim/drop-no-route" in
+  let c_drop_ttl = Registry.counter r "netsim/drop-ttl" in
+  let c_switch_hops = Registry.counter r "netsim/switch-hops" in
+  let c_deflections = Registry.counter r "netsim/deflections" in
+  let c_reencodes = Registry.counter r "netsim/reencodes" in
+  let g_queue_peak = Registry.gauge r "netsim/queue-peak-bytes" in
   {
-    injected = 0;
-    delivered = 0;
-    dropped_link_down = 0;
-    dropped_queue_full = 0;
-    dropped_no_route = 0;
-    dropped_ttl = 0;
-    total_switch_hops = 0;
-    deflections = 0;
-    reencodes = 0;
+    c_injected;
+    c_delivered;
+    c_drop_link_down;
+    c_drop_queue_full;
+    c_drop_no_route;
+    c_drop_ttl;
+    c_switch_hops;
+    c_deflections;
+    c_reencodes;
+    g_queue_peak;
   }
 
-let create ~graph ~engine ?(queue_capacity_bytes = 1_048_576) ?(ttl = 128)
-    ?(detection_delay_s = 0.0) () =
+let create ~graph ~engine ?registry ?(queue_capacity_bytes = 1_048_576)
+    ?(ttl = 128) ?(detection_delay_s = 0.0) () =
   let n_links = Graph.n_links graph in
   let channel_of link dir =
     let far = if dir = 0 then link.Graph.ep1 else link.Graph.ep0 in
@@ -118,6 +150,14 @@ let create ~graph ~engine ?(queue_capacity_bytes = 1_048_576) ?(ttl = 128)
             let far = (Graph.other_end link v).Graph.node in
             { Kar.Policy.up = true; to_host = not (Graph.is_core graph far) }))
   in
+  let registry =
+    match registry with Some r -> r | None -> Registry.create ()
+  in
+  Registry.probe registry "engine/events" (fun () -> Engine.processed engine);
+  Registry.probe registry "engine/pending" (fun () -> Engine.pending engine);
+  Registry.probe registry "engine/heap-peak" (fun () -> Engine.heap_peak engine);
+  let counters = make_counters registry in
+  let pool = Packet.Pool.create ~registry () in
   {
     graph;
     engine;
@@ -130,8 +170,9 @@ let create ~graph ~engine ?(queue_capacity_bytes = 1_048_576) ?(ttl = 128)
     out_channel;
     handlers = Array.make (Graph.n_nodes graph) None;
     port_cache;
-    stats = make_stats ();
-    pool = Packet.Pool.create ();
+    registry;
+    counters;
+    pool;
     next_uid = 0;
     recorder = None;
     switch_deflections = Array.make (Graph.n_nodes graph) 0;
@@ -141,7 +182,22 @@ let create ~graph ~engine ?(queue_capacity_bytes = 1_048_576) ?(ttl = 128)
 
 let graph net = net.graph
 let engine net = net.engine
-let stats net = net.stats
+let registry net = net.registry
+
+let stats net =
+  let c = net.counters in
+  {
+    injected = Registry.value c.c_injected;
+    delivered = Registry.value c.c_delivered;
+    dropped_link_down = Registry.value c.c_drop_link_down;
+    dropped_queue_full = Registry.value c.c_drop_queue_full;
+    dropped_no_route = Registry.value c.c_drop_no_route;
+    dropped_ttl = Registry.value c.c_drop_ttl;
+    total_switch_hops = Registry.value c.c_switch_hops;
+    deflections = Registry.value c.c_deflections;
+    reencodes = Registry.value c.c_reencodes;
+  }
+
 let ttl net = net.ttl
 
 let set_recorder net r = net.recorder <- r
@@ -181,22 +237,23 @@ let drop ?at ?(in_port = -1) net (packet : Packet.t) reason =
      let switch = match at with Some v -> Graph.label net.graph v | None -> -1 in
      record_event net ~switch ~in_port ~out_port:(-1) packet
        (Trace.Event.Drop (reason_slug reason)));
-  let s = net.stats in
+  let c = net.counters in
   (match reason with
-   | Link_down -> s.dropped_link_down <- s.dropped_link_down + 1
-   | Queue_full -> s.dropped_queue_full <- s.dropped_queue_full + 1
-   | No_route -> s.dropped_no_route <- s.dropped_no_route + 1
-   | Ttl_exceeded -> s.dropped_ttl <- s.dropped_ttl + 1);
+   | Link_down -> Registry.incr c.c_drop_link_down
+   | Queue_full -> Registry.incr c.c_drop_queue_full
+   | No_route -> Registry.incr c.c_drop_no_route
+   | Ttl_exceeded -> Registry.incr c.c_drop_ttl);
   Packet.Pool.release net.pool packet
 
 let delivered ?(in_port = -1) net (packet : Packet.t) =
   record_event net
     ~switch:(Graph.label net.graph (Packet.dst packet))
     ~in_port ~out_port:(-1) packet Trace.Event.Deliver;
-  net.stats.delivered <- net.stats.delivered + 1
+  Registry.incr net.counters.c_delivered
 
-let count_deflection net = net.stats.deflections <- net.stats.deflections + 1
-let count_reencode net = net.stats.reencodes <- net.stats.reencodes + 1
+let count_deflection net = Registry.incr net.counters.c_deflections
+let count_reencode net = Registry.incr net.counters.c_reencodes
+let count_hop net = Registry.incr net.counters.c_switch_hops
 
 let set_node_handler net node h = net.handlers.(node) <- Some h
 
@@ -214,7 +271,7 @@ let alloc net ~src ~dst ~size_bytes ~route_id payload =
   p
 
 let free net p = Packet.Pool.release net.pool p
-let pool_stats net = Packet.Pool.stats net.pool
+let pool net = net.pool
 
 let deliver net node packet ~in_port =
   match net.handlers.(node) with
@@ -278,11 +335,12 @@ let send net ~from_node ~port packet =
   else begin
     Queue.push packet ch.queue;
     ch.queued_bytes <- ch.queued_bytes + Packet.size_bytes packet;
+    Registry.set_max net.counters.g_queue_peak ch.queued_bytes;
     schedule_wake net ch
   end
 
 let inject net ~at packet =
-  net.stats.injected <- net.stats.injected + 1;
+  Registry.incr net.counters.c_injected;
   record_event net ~switch:(Graph.label net.graph at) ~in_port:(-1)
     ~out_port:(-1) packet Trace.Event.Inject;
   deliver net at packet ~in_port:(-1)

@@ -25,16 +25,18 @@ type drop_reason =
   | No_route (** the forwarding decision was [Drop] *)
   | Ttl_exceeded
 
+(** An immutable snapshot of the [netsim/*] registry counters (the live
+    values are {!Kar_obs.Registry} cells; see {!registry}). *)
 type stats = {
-  mutable injected : int;
-  mutable delivered : int; (** packets consumed by a host handler *)
-  mutable dropped_link_down : int;
-  mutable dropped_queue_full : int;
-  mutable dropped_no_route : int;
-  mutable dropped_ttl : int;
-  mutable total_switch_hops : int;
-  mutable deflections : int; (** forwarding decisions that deflected *)
-  mutable reencodes : int; (** stranded packets re-encoded at an edge *)
+  injected : int;
+  delivered : int; (** packets consumed by a host handler *)
+  dropped_link_down : int;
+  dropped_queue_full : int;
+  dropped_no_route : int;
+  dropped_ttl : int;
+  total_switch_hops : int; (** forwarding decisions taken at core switches *)
+  deflections : int; (** forwarding decisions that deflected *)
+  reencodes : int; (** stranded packets re-encoded at an edge *)
 }
 
 (** [handler net node packet ~in_port] consumes a packet arriving at
@@ -47,10 +49,13 @@ type handler = t -> Topo.Graph.node -> Packet.t -> in_port:int -> unit
     [detection_delay_s] (default 0: oracle detection, the paper's implicit
     assumption) delays the moment switches {e observe} a liveness change:
     until then they keep forwarding into a dead link and those packets are
-    lost — the loss-of-signal / BFD window of a real deployment. *)
+    lost — the loss-of-signal / BFD window of a real deployment.
+    [registry] is the metrics registry the network's counters, gauges and
+    engine probes register on (a fresh private registry when omitted). *)
 val create :
   graph:Topo.Graph.t ->
   engine:Engine.t ->
+  ?registry:Kar_obs.Registry.t ->
   ?queue_capacity_bytes:int ->
   ?ttl:int ->
   ?detection_delay_s:float ->
@@ -59,7 +64,16 @@ val create :
 
 val graph : t -> Topo.Graph.t
 val engine : t -> Engine.t
+
+(** The network's metrics registry: [netsim/*] counters (injected,
+    delivered, per-reason drops, switch-hops, deflections, reencodes,
+    pool-hit/grow/release), the [netsim/queue-peak-bytes] high-watermark
+    gauge, and [engine/*] probes (events, pending, heap-peak). *)
+val registry : t -> Kar_obs.Registry.t
+
+(** [stats net] snapshots the registry counters into a plain record. *)
 val stats : t -> stats
+
 val ttl : t -> int
 
 (** [set_node_handler net node h] routes arriving packets at [node] to
@@ -90,6 +104,10 @@ val delivered : ?in_port:int -> t -> Packet.t -> unit
 val count_deflection : t -> unit
 
 val count_reencode : t -> unit
+
+(** [count_hop net] bumps the switch-hop counter — one forwarding decision
+    taken at a core switch (used by Karnet). *)
+val count_hop : t -> unit
 
 (** [link_up net id] is the current liveness of link [id]. *)
 val link_up : t -> Topo.Graph.link_id -> bool
@@ -130,7 +148,11 @@ val alloc :
   Packet.t
 
 val free : t -> Packet.t -> unit
-val pool_stats : t -> Packet.Pool.stats
+
+(** The network's buffer pool (counter accessors: {!Packet.Pool.hits},
+    {!Packet.Pool.grows}, {!Packet.Pool.in_flight},
+    {!Packet.Pool.releases}). *)
+val pool : t -> Packet.Pool.t
 
 (** [port_states net node] is the current {!Kar.Policy.port_state} array of
     [node] (liveness from the failure state, orientation from the graph). *)

@@ -46,30 +46,39 @@ let make ~uid ~src ~dst ~size_bytes ~route_id ~born payload =
   p
 
 module Pool = struct
+  module Registry = Kar_obs.Registry
+
   type packet = t
 
+  (* Counters live in a metrics registry ([netsim/pool-*]); a private
+     registry is created for standalone pools.  [Registry.incr] is one
+     int-array poke, so acquire/release stay at zero minor words. *)
   type t = {
     mutable free : packet array;
     mutable free_top : int; (* free.(0 .. free_top-1) are available *)
-    mutable created : int;
-    mutable hits : int;
-    mutable releases : int;
+    hit_c : Registry.counter;
+    grow_c : Registry.counter;
+    release_c : Registry.counter;
   }
 
-  type stats = { hits : int; grows : int; in_flight : int; releases : int }
-
-  let create () = { free = [||]; free_top = 0; created = 0; hits = 0; releases = 0 }
+  let create ?registry () =
+    let r = match registry with Some r -> r | None -> Registry.create () in
+    (* explicit registration order: it is the snapshot column order *)
+    let hit_c = Registry.counter r "netsim/pool-hit" in
+    let grow_c = Registry.counter r "netsim/pool-grow" in
+    let release_c = Registry.counter r "netsim/pool-release" in
+    { free = [||]; free_top = 0; hit_c; grow_c; release_c }
 
   let acquire (pool : t) =
     if pool.free_top > 0 then begin
       pool.free_top <- pool.free_top - 1;
-      pool.hits <- pool.hits + 1;
+      Registry.incr pool.hit_c;
       let p = Array.unsafe_get pool.free pool.free_top in
       Flat.set_live p.buf true;
       p
     end
     else begin
-      pool.created <- pool.created + 1;
+      Registry.incr pool.grow_c;
       let p = { buf = Flat.create (); pooled = true; payload = Raw; born = 0.0 } in
       Flat.set_live p.buf true;
       p
@@ -79,7 +88,7 @@ module Pool = struct
     if p.pooled && Flat.live p.buf then begin
       Flat.set_live p.buf false;
       p.payload <- Raw;
-      pool.releases <- pool.releases + 1;
+      Registry.incr pool.release_c;
       let cap = Array.length pool.free in
       if pool.free_top >= cap then begin
         let grown = Array.make (Stdlib.max 8 (2 * cap)) p in
@@ -90,13 +99,10 @@ module Pool = struct
       pool.free_top <- pool.free_top + 1
     end
 
-  let stats (pool : t) : stats =
-    {
-      hits = pool.hits;
-      grows = pool.created;
-      in_flight = pool.created - pool.free_top;
-      releases = pool.releases;
-    }
+  let hits pool = Registry.value pool.hit_c
+  let grows pool = Registry.value pool.grow_c
+  let releases pool = Registry.value pool.release_c
+  let in_flight pool = grows pool - pool.free_top
 end
 
 let pp ppf p =

@@ -82,19 +82,18 @@ val make :
   payload ->
   t
 
-(** Free-list pool of reusable packet buffers. *)
+(** Free-list pool of reusable packet buffers.  Counters are
+    {!Kar_obs.Registry} cells ([netsim/pool-hit], [netsim/pool-grow],
+    [netsim/pool-release]) registered on the caller's registry (or a
+    private one), so pool health shows up in the unified metrics schema
+    without any extra bookkeeping. *)
 module Pool : sig
   type packet = t
   type t
 
-  type stats = {
-    hits : int; (** acquires served from the free list *)
-    grows : int; (** acquires that had to allocate a new buffer *)
-    in_flight : int; (** pooled packets currently out (not on the free list) *)
-    releases : int; (** effective releases (double-release no-ops excluded) *)
-  }
-
-  val create : unit -> t
+  (** [create ?registry ()] makes an empty pool; its counters register on
+      [registry] (a fresh private registry when omitted). *)
+  val create : ?registry:Kar_obs.Registry.t -> unit -> t
 
   (** Pop a buffer from the free list (or allocate one on first use) and
       mark it live.  The image's other fields are stale — callers must
@@ -106,7 +105,17 @@ module Pool : sig
       terminal point (drop, delivery) is safe even when paths overlap. *)
   val release : t -> packet -> unit
 
-  val stats : t -> stats
+  (** Acquires served from the free list. *)
+  val hits : t -> int
+
+  (** Acquires that had to allocate a new buffer. *)
+  val grows : t -> int
+
+  (** Effective releases (double-release no-ops excluded). *)
+  val releases : t -> int
+
+  (** Pooled packets currently out (not on the free list). *)
+  val in_flight : t -> int
 end
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** The snapshot/export pipeline over a {!Registry.t}: JSONL time-series
+    snapshots, a Prometheus-style text dump, and a terminal summary with
+    sparklines.
+
+    All three render metrics in registration order and use only integer
+    metric values (histograms export count/sum and p50/p95/p99 upper
+    bounds in their native units), so output is deterministic whenever the
+    underlying registry is. *)
+
+(** [snapshot_line ~t r] is one flat JSON object:
+    [{"t":<sim-time>,"<name>":<int>,...}] with ["%.9g"] time formatting
+    (matching the trace sinks).  Histograms contribute
+    [<name>/count], [<name>/sum], [<name>/p50], [<name>/p95] and
+    [<name>/p99] keys.  No trailing newline. *)
+val snapshot_line : t:float -> Registry.t -> string
+
+(** Prometheus-style text exposition: [# TYPE] comments, names mangled to
+    [kar_<area>_<metric>] ([/] and [-] become [_]), histograms as
+    cumulative [_bucket{le="..."}] lines over non-empty buckets plus
+    [_sum]/[_count]. *)
+val prometheus : Registry.t -> string
+
+(** End-of-run terminal summary: a key/value table of scalars, then one
+    block per histogram with count/percentiles and a sparkline over the
+    occupied bucket range. *)
+val summary : Registry.t -> string

@@ -1,4 +1,6 @@
 module Engine = Netsim.Engine
+module Registry = Kar_obs.Registry
+module Span = Kar_obs.Span
 
 type ('k, 'v) pending = { mutable waiters : (('v, exn) result -> unit) list }
 
@@ -20,18 +22,27 @@ type ('k, 'v) t = {
   mutable n_inflight : int;
   mutable n_waiting : int;
   mutable timer : Engine.event option;
-  mutable batches : int;
-  mutable computed : int;
-  mutable coalesced : int;
-  mutable max_batch : int;
+  mutable n_batches : int;
+  batches_c : Registry.counter;
+  computed_c : Registry.counter;
+  coalesced_c : Registry.counter;
+  max_batch_g : Registry.gauge;
+  spans : Span.t option;
 }
 
 let create ~engine ~batch_size ~max_delay ~workers ~dispatch_overhead ?pool
+    ?registry ?spans
     ?(on_dispatch = fun ~batch:_ ~keys:_ -> ())
     ?(on_key_complete = fun ~batch:_ ~key:_ _ -> ()) ~compute ~cost () =
   if batch_size < 1 then invalid_arg "Batcher.create: batch_size must be >= 1";
   if max_delay < 0.0 then invalid_arg "Batcher.create: negative max_delay";
   if workers < 1 then invalid_arg "Batcher.create: workers must be >= 1";
+  let r = match registry with Some r -> r | None -> Registry.create () in
+  (* explicit registration order: it is the snapshot column order *)
+  let batches_c = Registry.counter r "svc/batches" in
+  let computed_c = Registry.counter r "svc/planned" in
+  let coalesced_c = Registry.counter r "svc/coalesced" in
+  let max_batch_g = Registry.gauge r "svc/max-batch" in
   {
     engine;
     batch_size;
@@ -49,10 +60,12 @@ let create ~engine ~batch_size ~max_delay ~workers ~dispatch_overhead ?pool
     n_inflight = 0;
     n_waiting = 0;
     timer = None;
-    batches = 0;
-    computed = 0;
-    coalesced = 0;
-    max_batch = 0;
+    n_batches = 0;
+    batches_c;
+    computed_c;
+    coalesced_c;
+    max_batch_g;
+    spans;
   }
 
 let complete t ~batch key result =
@@ -77,9 +90,10 @@ let dispatch t =
   t.n_queued <- 0;
   let n = Array.length keys in
   if n > 0 then begin
-    t.batches <- t.batches + 1;
-    let batch = t.batches in
-    t.max_batch <- Stdlib.max t.max_batch n;
+    t.n_batches <- t.n_batches + 1;
+    Registry.incr t.batches_c;
+    let batch = t.n_batches in
+    Registry.set_max t.max_batch_g n;
     t.n_inflight <- t.n_inflight + n;
     t.on_dispatch ~batch ~keys;
     (* the real computation: one pool map over the batch's distinct keys *)
@@ -89,22 +103,32 @@ let dispatch t =
       | Some p -> Util.Pool.map p keys ~f
       | None -> Util.Pool.run keys ~f
     in
-    t.computed <- t.computed + n;
+    Registry.add t.computed_c n;
     (* the modelled timeline: round-robin the keys over [workers] planner
        threads; completion = dispatch + overhead + the thread's cumulative
        cost.  Independent of the pool width by construction. *)
     let now = Engine.now t.engine in
     let worker_busy = Array.make t.workers 0.0 in
+    let last_completion = ref now in
     Array.iteri
       (fun i key ->
         let result = results.(i) in
         let w = i mod t.workers in
+        let start = now +. t.dispatch_overhead +. worker_busy.(w) in
         worker_busy.(w) <- worker_busy.(w) +. t.cost key result;
         let at = now +. t.dispatch_overhead +. worker_busy.(w) in
+        if at > !last_completion then last_completion := at;
+        (match t.spans with
+         | Some s -> Span.record s Span.Plan_compile ~t0:start ~t1:at ~detail:batch
+         | None -> ());
         ignore
           (Engine.schedule_at t.engine at (fun () ->
                complete t ~batch key result)))
-      keys
+      keys;
+    match t.spans with
+    | Some s ->
+      Span.record s Span.Batch_dispatch ~t0:now ~t1:!last_completion ~detail:n
+    | None -> ()
   end
 
 let request t key ~ready =
@@ -112,7 +136,7 @@ let request t key ~ready =
   match Hashtbl.find_opt t.pending key with
   | Some p ->
     (* single flight: whether queued or already computing, subscribe only *)
-    t.coalesced <- t.coalesced + 1;
+    Registry.incr t.coalesced_c;
     p.waiters <- ready :: p.waiters
   | None ->
     Hashtbl.add t.pending key { waiters = [ ready ] };
@@ -129,13 +153,7 @@ let request t key ~ready =
 let queued t = t.n_queued
 let in_flight t = t.n_inflight
 let waiting t = t.n_waiting
-
-type stats = { batches : int; computed : int; coalesced : int; max_batch : int }
-
-let stats (t : _ t) =
-  {
-    batches = t.batches;
-    computed = t.computed;
-    coalesced = t.coalesced;
-    max_batch = t.max_batch;
-  }
+let batches t = Registry.value t.batches_c
+let computed t = Registry.value t.computed_c
+let coalesced t = Registry.value t.coalesced_c
+let max_batch t = Registry.gauge_value t.max_batch_g

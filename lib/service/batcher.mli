@@ -30,6 +30,13 @@ type ('k, 'v) t
       timeline (it may inspect the result, e.g. charge per residue).
     - [pool]: compute on this private pool instead of the shared
       {!Util.Pool.run} (the bench harness measures j1 vs j4 this way).
+    - [registry]: counters register there as [svc/batches]/[svc/planned]/
+      [svc/coalesced] plus the [svc/max-batch] gauge (a fresh private
+      registry when omitted).
+    - [spans]: each dispatch records one [Batch_dispatch] span (dispatch
+      to last modelled completion, detail = batch size) and one
+      [Plan_compile] span per key (its modelled worker slot, detail =
+      batch number).
     - [on_dispatch ~batch ~keys] fires at dispatch time (event stream).
     - [on_key_complete ~batch ~key result] fires once per key at its
       virtual completion, before the per-request waiters. *)
@@ -40,6 +47,8 @@ val create :
   workers:int ->
   dispatch_overhead:float ->
   ?pool:Util.Pool.t ->
+  ?registry:Kar_obs.Registry.t ->
+  ?spans:Kar_obs.Span.t ->
   ?on_dispatch:(batch:int -> keys:'k array -> unit) ->
   ?on_key_complete:(batch:int -> key:'k -> ('v, exn) result -> unit) ->
   compute:('k -> 'v) ->
@@ -61,11 +70,14 @@ val in_flight : ('k, 'v) t -> int
 (** Requests subscribed to queued or in-flight keys. *)
 val waiting : ('k, 'v) t -> int
 
-type stats = {
-  batches : int; (** dispatches performed *)
-  computed : int; (** keys actually planned *)
-  coalesced : int; (** requests deduplicated onto an existing key *)
-  max_batch : int; (** largest dispatched batch *)
-}
+(** Dispatches performed. *)
+val batches : ('k, 'v) t -> int
 
-val stats : ('k, 'v) t -> stats
+(** Keys actually planned. *)
+val computed : ('k, 'v) t -> int
+
+(** Requests deduplicated onto an existing key. *)
+val coalesced : ('k, 'v) t -> int
+
+(** Largest dispatched batch. *)
+val max_batch : ('k, 'v) t -> int

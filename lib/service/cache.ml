@@ -9,44 +9,54 @@ type ('k, 'v) entry = {
   mutable next : ('k, 'v) entry option; (* toward tail *)
 }
 
+module Registry = Kar_obs.Registry
+
+(* Counters are [svc/cache-*] registry cells; the epoch is mirrored into a
+   gauge and occupancy sampled by a probe, so the serving layer's cache
+   health shows up in every metrics snapshot for free. *)
 type ('k, 'v) t = {
   cap : int;
   table : ('k, ('k, 'v) entry) Hashtbl.t;
   mutable head : ('k, 'v) entry option;
   mutable tail : ('k, 'v) entry option;
   mutable now : int; (* current epoch *)
-  mutable hits : int;
-  mutable misses : int;
-  mutable stale : int;
-  mutable evictions : int;
+  hit_c : Registry.counter;
+  miss_c : Registry.counter;
+  stale_c : Registry.counter;
+  evict_c : Registry.counter;
+  epoch_g : Registry.gauge;
 }
 
-type stats = {
-  hits : int;
-  misses : int;
-  stale : int;
-  evictions : int;
-  size : int;
-  epoch : int;
-}
-
-let create ~capacity =
+let create ?registry ~capacity () =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  let r = match registry with Some r -> r | None -> Registry.create () in
+  let table = Hashtbl.create (2 * capacity) in
+  (* explicit registration order: it is the snapshot column order *)
+  let hit_c = Registry.counter r "svc/cache-hit" in
+  let miss_c = Registry.counter r "svc/cache-miss" in
+  let stale_c = Registry.counter r "svc/cache-stale" in
+  let evict_c = Registry.counter r "svc/cache-evict" in
+  let epoch_g = Registry.gauge r "svc/cache-epoch" in
+  Registry.probe r "svc/cache-size" (fun () -> Hashtbl.length table);
   {
     cap = capacity;
-    table = Hashtbl.create (2 * capacity);
+    table;
     head = None;
     tail = None;
     now = 0;
-    hits = 0;
-    misses = 0;
-    stale = 0;
-    evictions = 0;
+    hit_c;
+    miss_c;
+    stale_c;
+    evict_c;
+    epoch_g;
   }
 
 let capacity t = t.cap
 let epoch t = t.now
-let bump_epoch t = t.now <- t.now + 1
+
+let bump_epoch t =
+  t.now <- t.now + 1;
+  Registry.set t.epoch_g t.now
 
 let detach t e =
   (match e.prev with
@@ -78,17 +88,17 @@ type 'v lookup =
 let lookup t k =
   match Hashtbl.find_opt t.table k with
   | None ->
-    t.misses <- t.misses + 1;
+    Registry.incr t.miss_c;
     Miss
   | Some e when e.born = t.now ->
-    t.hits <- t.hits + 1;
+    Registry.incr t.hit_c;
     detach t e;
     push_front t e;
     Hit e.value
   | Some e ->
     (* epoch moved on under this entry: drop it so it neither gets served
        nor occupies capacity a fresh plan needs *)
-    t.stale <- t.stale + 1;
+    Registry.incr t.stale_c;
     remove t e;
     Stale
 
@@ -102,7 +112,7 @@ let evict_lru t =
   | None -> ()
   | Some e ->
     remove t e;
-    t.evictions <- t.evictions + 1
+    Registry.incr t.evict_c
 
 let put t k v =
   match Hashtbl.find_opt t.table k with
@@ -119,16 +129,12 @@ let put t k v =
     Hashtbl.add t.table k e;
     push_front t e
 
-let stats (t : _ t) =
-  {
-    hits = t.hits;
-    misses = t.misses;
-    stale = t.stale;
-    evictions = t.evictions;
-    size = Hashtbl.length t.table;
-    epoch = t.now;
-  }
+let hits t = Registry.value t.hit_c
+let misses t = Registry.value t.miss_c
+let stale t = Registry.value t.stale_c
+let evictions t = Registry.value t.evict_c
+let size t = Hashtbl.length t.table
 
 let hit_ratio (t : _ t) =
-  let total = t.hits + t.misses + t.stale in
-  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+  let total = hits t + misses t + stale t in
+  if total = 0 then 0.0 else float_of_int (hits t) /. float_of_int total

@@ -15,17 +15,12 @@
 
 type ('k, 'v) t
 
-type stats = {
-  hits : int;
-  misses : int; (** cold misses: key never present (or evicted) *)
-  stale : int; (** misses caused by epoch invalidation *)
-  evictions : int; (** capacity evictions, not stale drops *)
-  size : int; (** current entries, stale residents included *)
-  epoch : int;
-}
-
-(** [create ~capacity] with [capacity >= 1]. *)
-val create : capacity:int -> ('k, 'v) t
+(** [create ?registry ~capacity ()] with [capacity >= 1].  Counters
+    register on [registry] (a fresh private registry when omitted) as
+    [svc/cache-hit]/[svc/cache-miss]/[svc/cache-stale]/[svc/cache-evict],
+    plus a [svc/cache-epoch] gauge and a [svc/cache-size] occupancy
+    probe. *)
+val create : ?registry:Kar_obs.Registry.t -> capacity:int -> unit -> ('k, 'v) t
 
 val capacity : ('k, 'v) t -> int
 val epoch : ('k, 'v) t -> int
@@ -49,7 +44,20 @@ val find : ('k, 'v) t -> 'k -> 'v option
     from the least-recently-used end while over capacity. *)
 val put : ('k, 'v) t -> 'k -> 'v -> unit
 
-val stats : ('k, 'v) t -> stats
+(** Lookups answered from a current-epoch entry. *)
+val hits : ('k, 'v) t -> int
+
+(** Cold misses: key never present (or evicted). *)
+val misses : ('k, 'v) t -> int
+
+(** Misses caused by epoch invalidation. *)
+val stale : ('k, 'v) t -> int
+
+(** Capacity evictions, not stale drops. *)
+val evictions : ('k, 'v) t -> int
+
+(** Current entries, stale residents included. *)
+val size : ('k, 'v) t -> int
 
 (** [hits / (hits + misses + stale)]; 0 before any lookup. *)
 val hit_ratio : ('k, 'v) t -> float

@@ -1,5 +1,8 @@
 module Graph = Topo.Graph
 module Engine = Netsim.Engine
+module Registry = Kar_obs.Registry
+module Span = Kar_obs.Span
+module Export = Kar_obs.Export
 
 type key = {
   src : Graph.node;
@@ -39,20 +42,52 @@ type t = {
   config : config;
   graph : Graph.t;
   pool : Util.Pool.t option;
+  registry : Registry.t;
+  spans : Span.t;
   cache : (key, Kar.Route.plan option) Cache.t;
+  latency_h : Registry.histogram;
+  unroutable_c : Registry.counter;
+  stale_completion_c : Registry.counter;
+  max_depth_g : Registry.gauge;
+  max_waiting_g : Registry.gauge;
   failed : (Graph.link_id, unit) Hashtbl.t;
   mutable ran : bool;
 }
 
-let create ?(config = default_config) ?pool ~graph () =
+let create ?(config = default_config) ?pool ?registry ~graph () =
+  let registry =
+    match registry with Some r -> r | None -> Registry.create ()
+  in
+  let cache = Cache.create ~registry ~capacity:config.cache_capacity () in
+  (* basis-point hit ratio as a probe: snapshots carry the derived series
+     without any per-event work *)
+  Registry.probe registry "svc/hit-ratio-bp" (fun () ->
+      let total = Cache.hits cache + Cache.misses cache + Cache.stale cache in
+      if total = 0 then 0 else Cache.hits cache * 10_000 / total);
+  (* explicit registration order: it is the snapshot column order *)
+  let latency_h = Registry.histogram registry "svc/latency-ns" in
+  let unroutable_c = Registry.counter registry "svc/unroutable" in
+  let stale_completion_c = Registry.counter registry "svc/stale-completion" in
+  let max_depth_g = Registry.gauge registry "svc/max-depth" in
+  let max_waiting_g = Registry.gauge registry "svc/max-waiting" in
   {
     config;
     graph;
     pool;
-    cache = Cache.create ~capacity:config.cache_capacity;
+    registry;
+    spans = Span.create ();
+    cache;
+    latency_h;
+    unroutable_c;
+    stale_completion_c;
+    max_depth_g;
+    max_waiting_g;
     failed = Hashtbl.create 16;
     ran = false;
   }
+
+let registry t = t.registry
+let spans t = t.spans
 
 let fail_link t l =
   Hashtbl.replace t.failed l ();
@@ -122,7 +157,12 @@ type report = {
   p50 : float;
   p95 : float;
   p99 : float;
-  cache : Cache.stats;
+  cache_hits : int;
+  cache_misses : int;
+  cache_stale : int;
+  cache_evictions : int;
+  cache_size : int;
+  epoch : int;
   hit_ratio : float;
   batches : int;
   planned : int;
@@ -134,19 +174,28 @@ type report = {
   records : record array;
 }
 
-let run t ?(sink = fun _ -> ()) ?(failures = []) requests =
+(* histogram percentile (integer ns, bucket upper bound) back to seconds *)
+let q_s h p = float_of_int (Registry.h_quantile h p) /. 1e9
+
+let run t ?(sink = fun _ -> ()) ?(failures = []) ?(keep_records = false)
+    ?metrics_every ?metrics_sink requests =
   if t.ran then invalid_arg "Server.run: a server instance runs one workload";
   t.ran <- true;
   let cfg = t.config in
   let g = t.graph in
   let engine = Engine.create () in
+  Registry.probe t.registry "engine/events" (fun () -> Engine.processed engine);
+  Registry.probe t.registry "engine/pending" (fun () -> Engine.pending engine);
   let n = Array.length requests in
+  (* The latency histogram replaces the materialised per-request list: a
+     10^6-request run keeps percentiles in a fixed 488-bucket array.
+     [records] is only populated on request (timeline bucketing). *)
   let records =
-    Array.make n
+    Array.make
+      (if keep_records then n else 0)
       { arrival = 0.0; completion = 0.0; outcome = Event.Miss; ok = false }
   in
-  let stale_completions = ref 0 in
-  let max_depth = ref 0 and max_waiting = ref 0 in
+  let makespan = ref 0.0 in
   let compute key = { plan = plan_for t key; born = Cache.epoch t.cache } in
   let cost _key result =
     match result with
@@ -164,7 +213,7 @@ let run t ?(sink = fun _ -> ()) ?(failures = []) requests =
       | Ok v -> (v.plan <> None, v.born <> Cache.epoch t.cache, Some v.plan)
       | Error _ -> (false, false, None)
     in
-    if stale then incr stale_completions
+    if stale then Registry.incr t.stale_completion_c
     else
       (* plans that raised unexpectedly are not cached either: transient *)
       Option.iter (fun plan -> Cache.put t.cache key plan) value;
@@ -182,14 +231,19 @@ let run t ?(sink = fun _ -> ()) ?(failures = []) requests =
   let batcher =
     Batcher.create ~engine ~batch_size:cfg.batch_size ~max_delay:cfg.batch_delay
       ~workers:cfg.workers ~dispatch_overhead:cfg.dispatch_overhead ?pool:t.pool
-      ~on_dispatch ~on_key_complete ~compute ~cost ()
+      ~registry:t.registry ~spans:t.spans ~on_dispatch ~on_key_complete ~compute
+      ~cost ()
   in
   let sample_gauges () =
-    max_depth := Stdlib.max !max_depth (Batcher.queued batcher + Batcher.in_flight batcher);
-    max_waiting := Stdlib.max !max_waiting (Batcher.waiting batcher)
+    Registry.set_max t.max_depth_g (Batcher.queued batcher + Batcher.in_flight batcher);
+    Registry.set_max t.max_waiting_g (Batcher.waiting batcher)
   in
   let finish seq ~arrival ~outcome ~ok =
-    records.(seq) <- { arrival; completion = Engine.now engine; outcome; ok }
+    let completion = Engine.now engine in
+    Registry.observe_s t.latency_h (completion -. arrival);
+    if not ok then Registry.incr t.unroutable_c;
+    if completion > !makespan then makespan := completion;
+    if keep_records then records.(seq) <- { arrival; completion; outcome; ok }
   in
   let process (r : Workload.request) =
     let key = { src = r.src; dst = r.dst; level = r.level; policy = r.policy } in
@@ -231,10 +285,13 @@ let run t ?(sink = fun _ -> ()) ?(failures = []) requests =
              (match action with
               | `Fail l -> fail_link t l
               | `Repair l -> repair_link t l);
+             let now = Engine.now engine in
+             Span.record t.spans Span.Epoch_invalidate ~t0:now ~t1:now
+               ~detail:(Cache.epoch t.cache);
              sink
                (Event.Epoch
                   {
-                    t = Engine.now engine;
+                    t = now;
                     epoch = Cache.epoch t.cache;
                     cause =
                       (match action with
@@ -242,6 +299,30 @@ let run t ?(sink = fun _ -> ()) ?(failures = []) requests =
                        | `Repair l -> link_cause t "repair" l);
                   }))))
     failures;
+  (* periodic sim-clock snapshots: a self-chaining event that emits one
+     JSONL line per interval and stops once the rest of the run has
+     drained (its own event does not count, having just been popped).
+     Purely virtual-clock scheduling, so the series is byte-identical at
+     any pool width. *)
+  (match metrics_sink with
+   | None -> ()
+   | Some emit ->
+     let every =
+       match metrics_every with
+       | Some e when e > 0.0 -> e
+       | _ ->
+         (* default: ~64 samples over the arrival horizon *)
+         if n = 0 then 1.0
+         else Stdlib.max 1e-6 (requests.(n - 1).Workload.arrival /. 64.0)
+     in
+     let rec snap () =
+       let now = Engine.now engine in
+       emit (Export.snapshot_line ~t:now t.registry);
+       Span.record t.spans Span.Snapshot ~t0:now ~t1:now ~detail:0;
+       if Engine.pending engine > 0 then
+         ignore (Engine.schedule_in engine every snap)
+     in
+     ignore (Engine.schedule_at engine every snap));
   (* arrivals chain one ahead instead of loading the heap with the whole
      open-loop schedule up front *)
   let rec arrive i () =
@@ -251,31 +332,32 @@ let run t ?(sink = fun _ -> ()) ?(failures = []) requests =
   in
   if n > 0 then ignore (Engine.schedule_at engine requests.(0).Workload.arrival (arrive 0));
   Engine.run engine;
-  let latencies = Array.map (fun r -> r.completion -. r.arrival) records in
-  let unroutable = Array.fold_left (fun acc r -> if r.ok then acc else acc + 1) 0 records in
-  let makespan =
-    Array.fold_left (fun acc r -> Stdlib.max acc r.completion) 0.0 records
-  in
-  let bstats = Batcher.stats batcher in
+  let makespan = !makespan in
+  let h = t.latency_h in
   {
     requests = n;
-    unroutable;
+    unroutable = Registry.value t.unroutable_c;
     makespan;
     virtual_rps = (if makespan > 0.0 then float_of_int n /. makespan else 0.0);
     mean_latency =
       (if n = 0 then 0.0
-       else Array.fold_left ( +. ) 0.0 latencies /. float_of_int n);
-    p50 = (if n = 0 then 0.0 else Util.Stats.p50 latencies);
-    p95 = (if n = 0 then 0.0 else Util.Stats.p95 latencies);
-    p99 = (if n = 0 then 0.0 else Util.Stats.p99 latencies);
-    cache = Cache.stats t.cache;
+       else float_of_int (Registry.h_sum h) /. 1e9 /. float_of_int n);
+    p50 = (if n = 0 then 0.0 else q_s h 50.0);
+    p95 = (if n = 0 then 0.0 else q_s h 95.0);
+    p99 = (if n = 0 then 0.0 else q_s h 99.0);
+    cache_hits = Cache.hits t.cache;
+    cache_misses = Cache.misses t.cache;
+    cache_stale = Cache.stale t.cache;
+    cache_evictions = Cache.evictions t.cache;
+    cache_size = Cache.size t.cache;
+    epoch = Cache.epoch t.cache;
     hit_ratio = Cache.hit_ratio t.cache;
-    batches = bstats.Batcher.batches;
-    planned = bstats.Batcher.computed;
-    coalesced = bstats.Batcher.coalesced;
-    max_batch = bstats.Batcher.max_batch;
-    stale_completions = !stale_completions;
-    max_depth = !max_depth;
-    max_waiting = !max_waiting;
+    batches = Batcher.batches batcher;
+    planned = Batcher.computed batcher;
+    coalesced = Batcher.coalesced batcher;
+    max_batch = Batcher.max_batch batcher;
+    stale_completions = Registry.value t.stale_completion_c;
+    max_depth = Registry.gauge_value t.max_depth_g;
+    max_waiting = Registry.gauge_value t.max_waiting_g;
     records;
   }

@@ -48,9 +48,28 @@ val default_config : config
 
 type t
 
-(** [create ?config ?pool ~graph ()] — [pool] routes batch computation to a
-    private domain pool instead of the shared one (bench isolation). *)
-val create : ?config:config -> ?pool:Util.Pool.t -> graph:Graph.t -> unit -> t
+(** [create ?config ?pool ?registry ~graph ()] — [pool] routes batch
+    computation to a private domain pool instead of the shared one (bench
+    isolation); [registry] is the metrics registry the server's cache,
+    batcher and latency histogram register on (a fresh private registry
+    when omitted). *)
+val create :
+  ?config:config ->
+  ?pool:Util.Pool.t ->
+  ?registry:Kar_obs.Registry.t ->
+  graph:Graph.t ->
+  unit ->
+  t
+
+(** The server's metrics registry: [svc/*] cache, batcher, latency
+    ([svc/latency-ns] histogram) and depth metrics, plus [engine/*] probes
+    once {!run} has started. *)
+val registry : t -> Kar_obs.Registry.t
+
+(** Control-plane spans: one [Batch_dispatch] per batch, one
+    [Plan_compile] per planned key, one [Epoch_invalidate] per topology
+    event, one [Snapshot] per emitted metrics snapshot. *)
+val spans : t -> Kar_obs.Span.t
 
 (** Mark a link failed / repaired and bump the cache epoch.  Used directly
     for set-up; during a run prefer the [failures] schedule. *)
@@ -67,6 +86,10 @@ type record = {
   ok : bool; (** false: unroutable under the topology it was planned on *)
 }
 
+(** Latency percentiles come from the streaming [svc/latency-ns]
+    histogram (8 sub-buckets per octave), so they are bucket upper bounds:
+    within one bucket width (<= 12.5% relative) above the exact
+    nearest-rank value, at O(1) memory for any workload size. *)
 type report = {
   requests : int;
   unroutable : int;
@@ -76,7 +99,12 @@ type report = {
   p50 : float;
   p95 : float;
   p99 : float;
-  cache : Cache.stats;
+  cache_hits : int;
+  cache_misses : int;
+  cache_stale : int;
+  cache_evictions : int;
+  cache_size : int;
+  epoch : int;
   hit_ratio : float;
   batches : int;
   planned : int; (** plans actually computed *)
@@ -85,16 +113,26 @@ type report = {
   stale_completions : int; (** plans that outlived their epoch in flight *)
   max_depth : int; (** max distinct keys queued + in flight *)
   max_waiting : int; (** max requests pending a plan *)
-  records : record array;
+  records : record array; (** empty unless [keep_records] *)
 }
 
-(** [run t ?sink ?failures requests] serves the whole workload to
-    completion and reports.  [failures] is a schedule of topology events
-    [(time, `Fail l | `Repair l)]; each bumps the epoch and is announced on
-    [sink].  Single-shot: a server instance runs one workload. *)
+(** [run t ?sink ?failures ?keep_records ?metrics_every ?metrics_sink
+    requests] serves the whole workload to completion and reports.
+    [failures] is a schedule of topology events
+    [(time, `Fail l | `Repair l)]; each bumps the epoch and is announced
+    on [sink].  [keep_records] (default false) materialises the
+    per-request {!record} array — off, memory stays bounded at
+    10^6-request workloads.  [metrics_sink] receives one
+    {!Kar_obs.Export.snapshot_line} per [metrics_every] virtual seconds
+    (default: arrival horizon / 64) — a sim-clock time series that is
+    byte-identical at any pool width.  Single-shot: a server instance
+    runs one workload. *)
 val run :
   t ->
   ?sink:(Event.t -> unit) ->
   ?failures:(float * [ `Fail of Graph.link_id | `Repair of Graph.link_id ]) list ->
+  ?keep_records:bool ->
+  ?metrics_every:float ->
+  ?metrics_sink:(string -> unit) ->
   Workload.request array ->
   report

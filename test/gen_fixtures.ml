@@ -31,6 +31,15 @@ let () =
   close_out oc;
   Printf.printf "wrote %s (%d lines)\n" path
     (String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 contents);
+  (* the metrics fixture is the registry snapshot stream of the canonical
+     serving run (one mid-run link failure), already rendered JSONL *)
+  let path = Filename.concat dir "service_metrics_1k.jsonl" in
+  let oc = open_out path in
+  let contents = Experiments.Service.canonical_metrics () in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s (%d lines)\n" path
+    (String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 contents);
   (* the verifier fixture is verdict + counterexample lines, already JSON *)
   let path = Filename.concat dir "verify_net15_k2.jsonl" in
   let oc = open_out path in

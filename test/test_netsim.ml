@@ -387,36 +387,31 @@ let test_pool_reuse_physical () =
   Packet.Pool.release pool p1;
   let p2 = Packet.Pool.acquire pool in
   Alcotest.(check bool) "released buffer is reused" true (p1 == p2);
-  let s = Packet.Pool.stats pool in
-  Alcotest.(check int) "one grow" 1 s.Packet.Pool.grows;
-  Alcotest.(check int) "one hit" 1 s.Packet.Pool.hits;
-  Alcotest.(check int) "one release" 1 s.Packet.Pool.releases;
-  Alcotest.(check int) "one in flight" 1 s.Packet.Pool.in_flight
+  Alcotest.(check int) "one grow" 1 (Packet.Pool.grows pool);
+  Alcotest.(check int) "one hit" 1 (Packet.Pool.hits pool);
+  Alcotest.(check int) "one release" 1 (Packet.Pool.releases pool);
+  Alcotest.(check int) "one in flight" 1 (Packet.Pool.in_flight pool)
 
 let test_pool_stats_accounting () =
   let pool = Packet.Pool.create () in
   let ps = Array.init 5 (fun _ -> Packet.Pool.acquire pool) in
-  let s = Packet.Pool.stats pool in
-  Alcotest.(check int) "five grows" 5 s.Packet.Pool.grows;
-  Alcotest.(check int) "no hits yet" 0 s.Packet.Pool.hits;
-  Alcotest.(check int) "five in flight" 5 s.Packet.Pool.in_flight;
+  Alcotest.(check int) "five grows" 5 (Packet.Pool.grows pool);
+  Alcotest.(check int) "no hits yet" 0 (Packet.Pool.hits pool);
+  Alcotest.(check int) "five in flight" 5 (Packet.Pool.in_flight pool);
   Array.iter (fun p -> Packet.Pool.release pool p) ps;
-  let s = Packet.Pool.stats pool in
-  Alcotest.(check int) "all back" 0 s.Packet.Pool.in_flight;
-  Alcotest.(check int) "five releases" 5 s.Packet.Pool.releases;
+  Alcotest.(check int) "all back" 0 (Packet.Pool.in_flight pool);
+  Alcotest.(check int) "five releases" 5 (Packet.Pool.releases pool);
   (* double release must be a no-op, not a free-list corruption *)
   Packet.Pool.release pool ps.(0);
-  let s = Packet.Pool.stats pool in
-  Alcotest.(check int) "double release ignored" 5 s.Packet.Pool.releases;
-  Alcotest.(check int) "in flight still zero" 0 s.Packet.Pool.in_flight;
+  Alcotest.(check int) "double release ignored" 5 (Packet.Pool.releases pool);
+  Alcotest.(check int) "in flight still zero" 0 (Packet.Pool.in_flight pool);
   (* unpooled packets (Packet.make) are never taken by the pool *)
   let loose =
     Packet.make ~uid:1 ~src:0 ~dst:1 ~size_bytes:10 ~route_id:route_to_b
       ~born:0.0 Packet.Raw
   in
   Packet.Pool.release pool loose;
-  let s = Packet.Pool.stats pool in
-  Alcotest.(check int) "unpooled release ignored" 5 s.Packet.Pool.releases
+  Alcotest.(check int) "unpooled release ignored" 5 (Packet.Pool.releases pool)
 
 let test_pool_live_bit () =
   let pool = Packet.Pool.create () in
@@ -443,11 +438,11 @@ let test_pool_drains_after_run () =
   done;
   Engine.run engine;
   Alcotest.(check int) "all delivered" 50 (Net.stats net).Net.delivered;
-  let s = Net.pool_stats net in
-  Alcotest.(check int) "pool fully drained" 0 s.Packet.Pool.in_flight;
+  let pool = Net.pool net in
+  Alcotest.(check int) "pool fully drained" 0 (Packet.Pool.in_flight pool);
   (* all 50 were allocated before the engine ran, so the first run grows 50
      buffers; a second identical run must be all hits, no new buffers *)
-  let grows_before = s.Packet.Pool.grows in
+  let grows_before = Packet.Pool.grows pool in
   for _ = 1 to 50 do
     let p =
       Net.alloc net ~src:a ~dst:h ~size_bytes:1000 ~route_id:route_to_b
@@ -456,10 +451,9 @@ let test_pool_drains_after_run () =
     Net.inject net ~at:a p
   done;
   Engine.run engine;
-  let s = Net.pool_stats net in
   Alcotest.(check int) "warm run creates nothing" grows_before
-    s.Packet.Pool.grows;
-  Alcotest.(check int) "warm run fully drained" 0 s.Packet.Pool.in_flight
+    (Packet.Pool.grows pool);
+  Alcotest.(check int) "warm run fully drained" 0 (Packet.Pool.in_flight pool)
 
 let test_reorder_in_order () =
   let m = feed [ 0; 1; 2; 3; 4; 5 ] in

@@ -1,0 +1,342 @@
+(* Tests for the unified telemetry layer (lib/obs): histogram bucket
+   geometry, shard-merge algebra, zero-allocation hot-path updates,
+   snapshot determinism across pool widths, and the export formats. *)
+
+module Registry = Kar_obs.Registry
+module Export = Kar_obs.Export
+module Span = Kar_obs.Span
+module Pool = Util.Pool
+
+(* --- bucket geometry --- *)
+
+let test_small_values_exact () =
+  (* values 0..15 get a bucket to themselves: bounds collapse to (v, v) *)
+  for v = 0 to 15 do
+    let b = Registry.bucket_of_value v in
+    let lo, hi = Registry.bucket_bounds b in
+    Alcotest.(check bool)
+      (Printf.sprintf "value %d is exact (bounds %d..%d)" v lo hi)
+      true
+      ((v = 0 && hi = 0) || (lo = v && hi = v))
+  done
+
+let test_powers_of_two_are_bucket_floors () =
+  (* every power of two >= 16 starts a fresh sub-bucket: it is the
+     inclusive lower bound of its own bucket *)
+  let e = ref 4 in
+  while 1 lsl !e > 0 && !e <= 61 do
+    let v = 1 lsl !e in
+    let lo, _hi = Registry.bucket_bounds (Registry.bucket_of_value v) in
+    Alcotest.(check int) (Printf.sprintf "2^%d is its bucket's floor" !e) v lo;
+    incr e
+  done
+
+let test_bounds_partition () =
+  (* consecutive buckets tile the value range with no gap or overlap *)
+  for b = 0 to Registry.n_buckets - 2 do
+    let _, hi = Registry.bucket_bounds b in
+    let lo', _ = Registry.bucket_bounds (b + 1) in
+    Alcotest.(check int) (Printf.sprintf "bucket %d..%d contiguous" b (b + 1))
+      (hi + 1) lo'
+  done
+
+let test_bucket_relative_width () =
+  (* above the exact range the relative bucket width is <= 1/8 *)
+  List.iter
+    (fun v ->
+      let lo, hi = Registry.bucket_bounds (Registry.bucket_of_value v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "value %d: bucket %d..%d within lo/8" v lo hi)
+        true
+        (lo <= v && v <= hi && hi - lo + 1 <= max 1 (lo / 8) + 1))
+    [ 16; 17; 100; 1_000; 65_535; 1_000_000; 999_999_937; max_int / 2 ]
+
+(* --- histogram vs. exact nearest-rank percentiles --- *)
+
+let test_quantile_within_one_bucket =
+  QCheck.Test.make ~count:200
+    ~name:"h_quantile = upper bound of the exact nearest-rank value's bucket"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 400) (int_bound 2_000_000))
+        (oneofl [ 50.0; 90.0; 95.0; 99.0 ]))
+    (fun (values, p) ->
+      QCheck.assume (values <> []);
+      let r = Registry.create () in
+      let h = Registry.histogram r "test/h-ns" in
+      List.iter (Registry.observe h) values;
+      let exact =
+        int_of_float
+          (Util.Stats.percentile_nearest_rank p
+             (Array.of_list (List.map float_of_int values)))
+      in
+      let q = Registry.h_quantile h p in
+      let lo, hi = Registry.bucket_bounds (Registry.bucket_of_value exact) in
+      (* the reported quantile is the inclusive upper bound of the bucket
+         holding the exact nearest-rank sample: never below the true
+         value, above it by less than one bucket width *)
+      q = hi && lo <= exact && exact <= hi)
+
+(* --- shard-merge algebra --- *)
+
+let schema () =
+  let r = Registry.create () in
+  let c = Registry.counter r "test/c" in
+  let g = Registry.gauge r "test/g" in
+  let h = Registry.histogram r "test/h-ns" in
+  (r, c, g, h)
+
+let populate seed r =
+  let c =
+    match Registry.find r "test/c" with
+    | Some (Registry.Counter c) -> c
+    | _ -> assert false
+  in
+  let g =
+    match Registry.find r "test/g" with
+    | Some (Registry.Gauge g) -> g
+    | _ -> assert false
+  in
+  let h =
+    match Registry.find r "test/h-ns" with
+    | Some (Registry.Histogram h) -> h
+    | _ -> assert false
+  in
+  let x = ref seed in
+  for _ = 1 to 100 do
+    x := (!x * 48271) mod 0x7FFFFFFF;
+    Registry.add c (!x land 0xFF);
+    Registry.set_max g (!x land 0xFFFF);
+    Registry.observe h (!x land 0xFFFFF)
+  done
+
+let test_merge_order_independent () =
+  let merged_in_order order =
+    let base, _, _, _ = schema () in
+    let shards = Registry.shards base ~n:3 in
+    Array.iteri (fun i sh -> populate (i + 1) sh) shards;
+    List.iter (fun i -> Registry.merge_into ~into:base shards.(i)) order;
+    Export.snapshot_line ~t:1.0 base
+  in
+  let a = merged_in_order [ 0; 1; 2 ] in
+  let b = merged_in_order [ 2; 0; 1 ] in
+  let c = merged_in_order [ 1; 2; 0 ] in
+  Alcotest.(check string) "merge order 012 = 201" a b;
+  Alcotest.(check string) "merge order 012 = 120" a c
+
+let test_merge_associative () =
+  (* (s0 + s1) + s2 = s0 + (s1 + s2): fold one pair through an
+     intermediate registry first, then into the base *)
+  let flat =
+    let base, _, _, _ = schema () in
+    let shards = Registry.shards base ~n:3 in
+    Array.iteri (fun i sh -> populate (i + 1) sh) shards;
+    Array.iter (fun sh -> Registry.merge_into ~into:base sh) shards;
+    Export.snapshot_line ~t:1.0 base
+  in
+  let nested =
+    let base, _, _, _ = schema () in
+    let shards = Registry.shards base ~n:3 in
+    Array.iteri (fun i sh -> populate (i + 1) sh) shards;
+    Registry.merge_into ~into:shards.(1) shards.(2);
+    Registry.merge_into ~into:shards.(0) shards.(1);
+    Registry.merge_into ~into:base shards.(0);
+    Export.snapshot_line ~t:1.0 base
+  in
+  Alcotest.(check string) "nested merge equals flat merge" flat nested
+
+let test_shards_share_schema () =
+  let base, _, _, _ = schema () in
+  Registry.probe base "test/probe" (fun () -> 42);
+  let sh = (Registry.shards base ~n:1).(0) in
+  (* probes are omitted; the three storage-backed metrics carry over in
+     registration order with zero values *)
+  let names = List.map fst (Registry.metrics sh) in
+  Alcotest.(check (list string)) "shard schema"
+    [ "test/c"; "test/g"; "test/h-ns" ] names;
+  Alcotest.(check int) "shard counter starts at 0" 0 (Registry.read sh "test/c")
+
+(* --- zero allocation on the hot path --- *)
+
+let test_hot_path_zero_alloc () =
+  let r = Registry.create () in
+  let c = Registry.counter r "test/c" in
+  let g = Registry.gauge r "test/g" in
+  let h = Registry.histogram r "test/h-ns" in
+  (* warm up: first updates touch fresh cache lines but must not allocate
+     either; run once so any one-time costs (none expected) are paid *)
+  Registry.incr c;
+  Registry.observe h 1;
+  let before = Gc.minor_words () in
+  for i = 1 to 100_000 do
+    Registry.incr c;
+    Registry.add c 3;
+    Registry.set g i;
+    Registry.set_max g i;
+    Registry.observe h (i * 997)
+  done;
+  let used = Gc.minor_words () -. before in
+  (* fixed slack: the loop body itself is alloc-free; allow a few words
+     for instrumentation noise, not a per-event budget *)
+  Alcotest.(check bool)
+    (Printf.sprintf "500k metric events allocated %.0f minor words" used)
+    true (used <= 256.0)
+
+(* --- snapshot determinism across pool widths --- *)
+
+let render_at_jobs jobs render =
+  Pool.set_jobs jobs;
+  let out = render () in
+  Pool.set_jobs (Pool.default_jobs ());
+  out
+
+let test_snapshots_deterministic_vs_jobs () =
+  let at1 = render_at_jobs 1 Experiments.Service.canonical_metrics in
+  let at8 = render_at_jobs 8 Experiments.Service.canonical_metrics in
+  Alcotest.(check bool) "metrics stream byte-identical at -j 1 and -j 8" true
+    (String.equal at1 at8)
+
+let test_metrics_match_fixture () =
+  let path =
+    let f = "fixtures/service_metrics_1k.jsonl" in
+    if Sys.file_exists f then f else Filename.concat "test" f
+  in
+  let ic = open_in_bin path in
+  let golden = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let fresh = Experiments.Service.canonical_metrics () in
+  Alcotest.(check bool)
+    "fresh metrics stream byte-identical to committed fixture (regenerate \
+     with test/gen_fixtures.exe after intentional changes)"
+    true
+    (String.equal golden fresh)
+
+let test_verify_sweep_deterministic_vs_jobs () =
+  let render () = Experiments.Verify.to_string ~metrics:true () in
+  let at1 = render_at_jobs 1 render in
+  let at8 = render_at_jobs 8 render in
+  Alcotest.(check bool) "verify metrics byte-identical at -j 1 and -j 8" true
+    (String.equal at1 at8)
+
+(* --- export formats --- *)
+
+let test_snapshot_line_shape () =
+  let r = Registry.create () in
+  let c = Registry.counter r "a/c" in
+  Registry.probe r "a/p" (fun () -> 7);
+  let h = Registry.histogram r "a/h-ns" in
+  Registry.add c 5;
+  Registry.observe h 10;
+  Registry.observe h 1000;
+  let line = Export.snapshot_line ~t:0.25 r in
+  Alcotest.(check bool) "starts with the timestamp" true
+    (String.length line > 10 && String.sub line 0 10 = {|{"t":0.25,|});
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (Printf.sprintf "line mentions %s" key) true
+        (Astring.String.is_infix ~affix:key line))
+    [
+      {|"a/c":5|}; {|"a/p":7|}; {|"a/h-ns/count":2|}; {|"a/h-ns/sum":1010|};
+      {|"a/h-ns/p50":10|};
+    ]
+
+let test_prometheus_shape () =
+  let r = Registry.create () in
+  let c = Registry.counter r "svc/cache-hits" in
+  Registry.add c 3;
+  let h = Registry.histogram r "svc/latency-ns" in
+  Registry.observe h 12;
+  let text = Export.prometheus r in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (Printf.sprintf "prometheus has %S" affix) true
+        (Astring.String.is_infix ~affix text))
+    [
+      "# TYPE kar_svc_cache_hits counter";
+      "kar_svc_cache_hits 3";
+      "# TYPE kar_svc_latency_ns histogram";
+      {|kar_svc_latency_ns_bucket{le="12"} 1|};
+      {|kar_svc_latency_ns_bucket{le="+Inf"} 1|};
+      "kar_svc_latency_ns_sum 12";
+      "kar_svc_latency_ns_count 1";
+    ]
+
+let test_summary_smoke () =
+  let r = Registry.create () in
+  let c = Registry.counter r "a/c" in
+  Registry.add c 9;
+  let h = Registry.histogram r "a/h-ns" in
+  for i = 1 to 100 do Registry.observe h (i * i) done;
+  let s = Export.summary r in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (Printf.sprintf "summary has %S" affix) true
+        (Astring.String.is_infix ~affix s))
+    [ "a/c"; "a/h-ns"; "p50"; "p99" ]
+
+(* --- span ring --- *)
+
+let test_span_ring_wraps () =
+  let s = Span.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Span.record s Span.Plan_compile ~t0:(float_of_int i)
+      ~t1:(float_of_int i +. 0.5) ~detail:i
+  done;
+  Alcotest.(check int) "recorded counts every span" 6 (Span.recorded s);
+  Alcotest.(check int) "two spans overwritten" 2 (Span.overwritten s);
+  let kept = Span.contents s in
+  Alcotest.(check (list int)) "oldest-first retained details" [ 3; 4; 5; 6 ]
+    (List.map (fun sp -> sp.Span.detail) kept);
+  let sp = List.hd kept in
+  Alcotest.(check bool) "timestamps round-trip exactly" true
+    (sp.Span.t0 = 3.0 && sp.Span.t1 = 3.5)
+
+let test_span_jsonl () =
+  let s = Span.create ~capacity:4 () in
+  Span.record s Span.Epoch_invalidate ~t0:0.125 ~t1:0.125 ~detail:2;
+  match Span.contents s with
+  | [ sp ] ->
+    let line = Span.span_to_jsonl sp in
+    List.iter
+      (fun affix ->
+        Alcotest.(check bool) (Printf.sprintf "span jsonl has %S" affix) true
+          (Astring.String.is_infix ~affix line))
+      [ {|"span":"epoch-invalidate"|}; {|"t0":0.125|}; {|"detail":2|} ]
+  | _ -> Alcotest.fail "expected exactly one span"
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "obs"
+    [
+      ( "buckets",
+        [
+          t "values 0..15 exact" test_small_values_exact;
+          t "powers of two are bucket floors" test_powers_of_two_are_bucket_floors;
+          t "buckets tile the range" test_bounds_partition;
+          t "relative width <= 1/8" test_bucket_relative_width;
+        ] );
+      ( "quantiles",
+        [ QCheck_alcotest.to_alcotest test_quantile_within_one_bucket ] );
+      ( "merge",
+        [
+          t "order independent" test_merge_order_independent;
+          t "associative" test_merge_associative;
+          t "shards copy the schema" test_shards_share_schema;
+        ] );
+      ("alloc", [ t "hot path is zero-alloc" test_hot_path_zero_alloc ]);
+      ( "determinism",
+        [
+          t "snapshots at -j1 = -j8" test_snapshots_deterministic_vs_jobs;
+          t "snapshots match fixture" test_metrics_match_fixture;
+          t "verify sweep at -j1 = -j8" test_verify_sweep_deterministic_vs_jobs;
+        ] );
+      ( "export",
+        [
+          t "snapshot line shape" test_snapshot_line_shape;
+          t "prometheus shape" test_prometheus_shape;
+          t "summary smoke" test_summary_smoke;
+        ] );
+      ( "spans",
+        [ t "ring wraps" test_span_ring_wraps; t "jsonl shape" test_span_jsonl ]
+      );
+    ]

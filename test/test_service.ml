@@ -103,7 +103,7 @@ let test_pairs_ranked_universe () =
 (* --- LRU cache with epochs --- *)
 
 let test_cache_lru_eviction () =
-  let c = Cache.create ~capacity:2 in
+  let c = Cache.create ~capacity:2 () in
   Cache.put c "a" 1;
   Cache.put c "b" 2;
   (* touch a so b is the LRU entry *)
@@ -112,12 +112,11 @@ let test_cache_lru_eviction () =
   Alcotest.(check bool) "b evicted" true (Cache.lookup c "b" = Cache.Miss);
   Alcotest.(check bool) "a survives" true (Cache.lookup c "a" = Cache.Hit 1);
   Alcotest.(check bool) "c resident" true (Cache.lookup c "c" = Cache.Hit 3);
-  let s = Cache.stats c in
-  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
-  Alcotest.(check int) "size at capacity" 2 s.Cache.size
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions c);
+  Alcotest.(check int) "size at capacity" 2 (Cache.size c)
 
 let test_cache_epoch_invalidation () =
-  let c = Cache.create ~capacity:8 in
+  let c = Cache.create ~capacity:8 () in
   Cache.put c 1 "one";
   Cache.put c 2 "two";
   Cache.bump_epoch c;
@@ -129,12 +128,11 @@ let test_cache_epoch_invalidation () =
   (* refilled entries hit under the new epoch *)
   Cache.put c 1 "one'";
   Alcotest.(check bool) "refill hits" true (Cache.lookup c 1 = Cache.Hit "one'");
-  let s = Cache.stats c in
-  Alcotest.(check int) "stale counted once" 1 s.Cache.stale;
-  Alcotest.(check int) "evictions untouched by epochs" 0 s.Cache.evictions
+  Alcotest.(check int) "stale counted once" 1 (Cache.stale c);
+  Alcotest.(check int) "evictions untouched by epochs" 0 (Cache.evictions c)
 
 let test_cache_hit_ratio () =
-  let c = Cache.create ~capacity:4 in
+  let c = Cache.create ~capacity:4 () in
   Alcotest.(check (float 0.0)) "no lookups yet" 0.0 (Cache.hit_ratio c);
   Cache.put c 0 0;
   ignore (Cache.lookup c 0);
@@ -168,11 +166,10 @@ let test_batcher_single_flight () =
          (* second distinct key reaches batch_size: dispatch *)
          Batcher.request b 2 ~ready:(ready "other")));
   Engine.run engine;
-  let s = Batcher.stats b in
-  Alcotest.(check int) "one batch" 1 s.Batcher.batches;
-  Alcotest.(check int) "two keys planned" 2 s.Batcher.computed;
-  Alcotest.(check int) "one request coalesced" 1 s.Batcher.coalesced;
-  Alcotest.(check int) "max batch" 2 s.Batcher.max_batch;
+  Alcotest.(check int) "one batch" 1 (Batcher.batches b);
+  Alcotest.(check int) "two keys planned" 2 (Batcher.computed b);
+  Alcotest.(check int) "one request coalesced" 1 (Batcher.coalesced b);
+  Alcotest.(check int) "max batch" 2 (Batcher.max_batch b);
   let by_tag tag = List.find (fun (t, _, _) -> t = tag) !got in
   let _, t1, v1 = by_tag "first" and _, td, vd = by_tag "dup" in
   let _, t2, v2 = by_tag "other" in
@@ -196,7 +193,7 @@ let test_batcher_timer_dispatch () =
   Engine.run engine;
   (* never reached batch_size: the max_delay timer fired the batch *)
   Alcotest.(check (float 1e-12)) "timer + modelled cost" 0.006 !done_at;
-  Alcotest.(check int) "one batch" 1 (Batcher.stats b).Batcher.batches
+  Alcotest.(check int) "one batch" 1 (Batcher.batches b)
 
 let test_batcher_compute_error () =
   let engine = Engine.create () in
@@ -226,7 +223,7 @@ let small_run ?failures ?sink () =
   in
   let reqs = Workload.generate testbed sp in
   let server = Server.create ~graph:testbed () in
-  Server.run server ?sink ?failures reqs
+  Server.run server ?sink ?failures ~keep_records:true reqs
 
 let test_server_serves_everyone () =
   let r = small_run () in
@@ -243,8 +240,7 @@ let test_server_serves_everyone () =
     (r.Server.p50 <= r.Server.p95 && r.Server.p95 <= r.Server.p99);
   (* conservation: every lookup outcome is a hit, a miss, or stale *)
   Alcotest.(check int) "lookup conservation" 1_000
-    (r.Server.cache.Cache.hits + r.Server.cache.Cache.misses
-   + r.Server.cache.Cache.stale)
+    (r.Server.cache_hits + r.Server.cache_misses + r.Server.cache_stale)
 
 let render_at_jobs jobs render =
   Pool.set_jobs jobs;
@@ -287,10 +283,9 @@ let test_svc_experiment_deterministic () =
 let test_storm_invalidation_and_recovery () =
   let s = Experiments.Service.storm () in
   let r = s.Experiments.Service.report in
-  Alcotest.(check int) "fail + repair bumped the epoch twice" 2
-    r.Server.cache.Cache.epoch;
+  Alcotest.(check int) "fail + repair bumped the epoch twice" 2 r.Server.epoch;
   Alcotest.(check bool) "invalidation produced stale lookups" true
-    (r.Server.cache.Cache.stale > 0);
+    (r.Server.cache_stale > 0);
   let ratios = s.Experiments.Service.hit_ratio_per_bucket in
   let bucket t =
     Stdlib.min (Array.length ratios - 1) (int_of_float (t /. s.Experiments.Service.bucket_s))

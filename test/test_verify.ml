@@ -288,7 +288,7 @@ let test_k1_no_refutation_of_possibility () =
    trace itself fails the delivery invariant. *)
 
 let test_counterexamples_machine_check () =
-  let r = Verify.run_topology ~name:"net15" Nets.net15 ~max_k:2 ~policy:nip in
+  let r = Verify.run_topology ~name:"net15" Nets.net15 ~max_k:2 ~policy:nip () in
   Alcotest.(check bool) "at least one counterexample" true
     (r.Verify.counterexamples <> []);
   List.iter
