@@ -58,13 +58,8 @@ let install_switches ?plan net ~policy ~seed =
               | Trace.Event.Deflect _ -> Net.note_deflect net v
               | Trace.Event.Drive -> Net.note_drive net v
               | _ -> ());
-             ignore
-               (Trace.Recorder.record r
-                  ~vtime:(Engine.now (Net.engine net))
-                  ~uid:(Packet.uid packet) ~switch:switch_id ~in_port
-                  ~out_port:port
-                  ~ttl:(Net.ttl net - hops)
-                  action)
+             Net.record_decision net ~switch:switch_id ~in_port ~out_port:port
+               packet action
            | _ -> ());
           if deflected && not was_deflected then begin
             Net.count_deflection net;
@@ -110,17 +105,9 @@ let install_edge net node ?(reencode_delay_s = 1e-3) ~reencode ~receive () =
           (Engine.schedule_in (Net.engine net) reencode_delay_s (fun () ->
                (* Recorded at actual send time, so the event's place in the
                   trace matches its place in the FIFO order. *)
-               (match Net.recorder net with
-                | None -> ()
-                | Some r ->
-                  ignore
-                    (Trace.Recorder.record r
-                       ~vtime:(Engine.now (Net.engine net))
-                       ~uid:(Packet.uid packet)
-                       ~switch:(Graph.label (Net.graph net) node)
-                       ~in_port:(-1) ~out_port:0
-                       ~ttl:(Net.ttl net - Packet.hops packet)
-                       Trace.Event.Reencode));
+               Net.record_decision net
+                 ~switch:(Graph.label (Net.graph net) node)
+                 ~in_port:(-1) ~out_port:0 packet Trace.Event.Reencode;
                Net.send net ~from_node:node ~port:0 packet))
     end
   in

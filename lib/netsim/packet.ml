@@ -103,6 +103,7 @@ module Pool = struct
   let grows pool = Registry.value pool.grow_c
   let releases pool = Registry.value pool.release_c
   let in_flight pool = grows pool - pool.free_top
+  let free_count pool = pool.free_top
 end
 
 let pp ppf p =

@@ -4,6 +4,7 @@ type kind =
   | Epoch_invalidate
   | Verify_sweep
   | Snapshot
+  | Epoch
 
 let kind_to_string = function
   | Plan_compile -> "plan-compile"
@@ -11,6 +12,7 @@ let kind_to_string = function
   | Epoch_invalidate -> "epoch-invalidate"
   | Verify_sweep -> "verify-sweep"
   | Snapshot -> "snapshot"
+  | Epoch -> "epoch"
 
 let tag_of_kind = function
   | Plan_compile -> 0
@@ -18,6 +20,7 @@ let tag_of_kind = function
   | Epoch_invalidate -> 2
   | Verify_sweep -> 3
   | Snapshot -> 4
+  | Epoch -> 5
 
 let kind_of_tag = function
   | 0 -> Plan_compile
@@ -25,6 +28,7 @@ let kind_of_tag = function
   | 2 -> Epoch_invalidate
   | 3 -> Verify_sweep
   | 4 -> Snapshot
+  | 5 -> Epoch
   | t -> invalid_arg (Printf.sprintf "Span: bad tag %d" t)
 
 (* record layout: [0] kind u8 | [1..8] detail i64 LE | [9..16] t0 bits LE
@@ -75,7 +79,8 @@ let span_to_jsonl s =
 
 let summary t =
   let kinds =
-    [ Plan_compile; Batch_dispatch; Epoch_invalidate; Verify_sweep; Snapshot ]
+    [ Plan_compile; Batch_dispatch; Epoch_invalidate; Verify_sweep; Snapshot;
+      Epoch ]
   in
   let spans = contents t in
   let rows =

@@ -15,6 +15,9 @@ type kind =
   | Epoch_invalidate  (** a cache epoch bump (instantaneous) *)
   | Verify_sweep  (** one verifier sweep unit *)
   | Snapshot  (** a metrics snapshot emission (instantaneous) *)
+  | Epoch
+      (** one conservative-simulation epoch: virtual interval a sharded
+          net ran between two region barriers; detail = epoch index *)
 
 val kind_to_string : kind -> string
 

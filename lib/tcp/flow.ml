@@ -613,8 +613,10 @@ let start ~net ~id ~src ~dst ~fwd_route ~rev_route ?(config = default_config)
     | Some time -> time
   in
   let kickoff () = send_available t in
-  if begin_at <= Engine.now (Net.engine net) then kickoff ()
-  else ignore (Engine.schedule_at (Net.engine net) begin_at kickoff);
+  (* The kickoff must run on the region owning [src]: on a sharded net the
+     flow's timers and segments belong to that timeline.  On a solo net
+     this is the historical immediate-call / schedule_at behaviour. *)
+  Net.schedule_at_node net src ~at:begin_at kickoff;
   t
 
 let set_fwd_route t route = t.fwd_route <- route

@@ -344,6 +344,57 @@ let test_k_shortest_edges () =
   (* a line has exactly one loopless path *)
   Alcotest.(check int) "k=5 saturates" 1 (List.length (Paths.k_shortest g ~k:5 0 3))
 
+(* --- region partitioning --- *)
+
+let test_partition_single_region () =
+  let g = Nets.net15.Nets.graph in
+  let p = Topo.Partition.make g ~regions:1 in
+  Alcotest.(check int) "one region" 1 p.Topo.Partition.n_regions;
+  Array.iter
+    (fun r -> Alcotest.(check int) "all nodes in region 0" 0 r)
+    p.Topo.Partition.region_of;
+  Alcotest.(check (list int)) "no cut links" [] p.Topo.Partition.cut_links;
+  Alcotest.(check (float 0.0)) "cut ratio 0" 0.0 p.Topo.Partition.cut_ratio;
+  Alcotest.(check bool) "infinite lookahead" true
+    (p.Topo.Partition.lookahead = infinity);
+  Alcotest.(check bool) "valid" true
+    (Topo.Partition.validate p g = Ok ())
+
+let test_partition_too_many_regions () =
+  let g = Gen.line 4 in
+  (match Topo.Partition.make g ~regions:5 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected rejection of regions > nodes");
+  match Topo.Partition.make g ~regions:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of regions < 1"
+
+let test_partition_net15 () =
+  let g = Nets.net15.Nets.graph in
+  let p = Topo.Partition.make g ~regions:2 in
+  Alcotest.(check bool) "valid" true (Topo.Partition.validate p g = Ok ());
+  Alcotest.(check bool) "has cut links" true (p.Topo.Partition.cut_links <> []);
+  Alcotest.(check bool) "positive finite lookahead" true
+    (p.Topo.Partition.lookahead > 0.0 && p.Topo.Partition.lookahead < infinity);
+  Alcotest.(check bool) "ratio in (0,1]" true
+    (p.Topo.Partition.cut_ratio > 0.0 && p.Topo.Partition.cut_ratio <= 1.0)
+
+let prop_partition_valid =
+  qtest ~count:60 "partitions are connected, non-empty, covering"
+    QCheck2.Gen.(pair (1 -- 1000) (1 -- 6))
+    (fun (seed, regions) ->
+      let g =
+        match seed mod 3 with
+        | 0 -> Gen.gnp ~n:14 ~p:0.35 ~seed
+        | 1 -> Gen.waxman ~n:14 ~alpha:0.9 ~beta:0.5 ~seed
+        | _ -> Gen.torus ~w:4 ~h:4
+      in
+      let regions = min regions (Graph.n_nodes g) in
+      let p = Topo.Partition.make g ~regions in
+      match Topo.Partition.validate p g with
+      | Ok () -> true
+      | Error e -> QCheck2.Test.fail_report e)
+
 let test_dot_output () =
   let s = Topo.Dot.to_dot Nets.fig1_six.Nets.graph in
   Alcotest.(check bool) "mentions SW4" true
@@ -384,6 +435,15 @@ let () =
           Alcotest.test_case "torus regularity" `Quick test_torus_regular;
           prop_gnp_connected; prop_waxman_connected; prop_gnp_deterministic;
           Alcotest.test_case "edge hosts" `Quick test_with_edge_hosts;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "single region is the whole graph" `Quick
+            test_partition_single_region;
+          Alcotest.test_case "bad region counts rejected" `Quick
+            test_partition_too_many_regions;
+          Alcotest.test_case "net15 two-way cut" `Quick test_partition_net15;
+          prop_partition_valid;
         ] );
       ( "paper topologies",
         [
