@@ -608,6 +608,63 @@ let verify_entries () =
     ("verify/failure-sets-per-sec-j4", j4);
   ]
 
+(* --- scenario-engine and churn gauges ---
+
+   [scenario/gen-*-ms] time the three generator models compiling a 3 s
+   schedule against rnp28 (best of 3 wall-clocks, generic 3x gate); the
+   adversarial one is the interesting number — every decision round it
+   replans the tracked pairs on the surviving topology.  The churn/*
+   gauges are deterministic functions of (topology, canonical spec,
+   seed): CBR delivery ratios under churn for KAR and for fast failover,
+   plus their gap under the adversarial schedule — the headline claim
+   that the adversary hurts the baselines more than KAR.  Any movement
+   there is a behaviour change, not machine noise, so they are gated on
+   absolute drops. *)
+
+let scenario_entries () =
+  let spec_of sch =
+    match Kar_scenario.Spec.parse (Experiments.Churn.spec_for sch) with
+    | Ok spec -> spec
+    | Error e -> failwith e
+  in
+  let gen_ms sch =
+    let g = rnp.Topo.Nets.graph in
+    let spec = spec_of sch in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let s =
+        wall (fun () ->
+            match
+              Kar_scenario.Gen.generate g ~horizon:3.0
+                ~pairs:[ (rnp.Topo.Nets.ingress, rnp.Topo.Nets.egress) ]
+                spec
+            with
+            | Ok _ -> ()
+            | Error e -> failwith e)
+      in
+      if s < !best then best := s
+    done;
+    !best *. 1e3
+  in
+  let delivery sc sch technique =
+    let events = Experiments.Churn.events_for sc ~horizon:3.0 sch in
+    (Experiments.Churn.run_data sc ~events ~technique ~rate_pps:500
+       ~duration_s:3.0 ~seed:42 ())
+      .Experiments.Churn.delivery_ratio
+  in
+  let kar_adv = delivery rnp `Adversarial Experiments.Churn.Kar in
+  let ff_adv = delivery rnp `Adversarial Experiments.Churn.Fast_failover in
+  [
+    ("scenario/gen-flap-ms", gen_ms `Flap);
+    ("scenario/gen-regional-ms", gen_ms `Regional);
+    ("scenario/gen-adversarial-ms", gen_ms `Adversarial);
+    ("churn/net15-regional-kar-delivery",
+     delivery net15 `Regional Experiments.Churn.Kar);
+    ("churn/rnp28-adversarial-kar-delivery", kar_adv);
+    ("churn/rnp28-adversarial-ff-delivery", ff_adv);
+    ("churn/adversarial-kar-ff-gap", kar_adv -. ff_adv);
+  ]
+
 (* --- metrics-overhead gauges ---
 
    [obs/metrics-pps-ratio] is the whole-stack cost of observability: the
@@ -809,6 +866,29 @@ let check_entry (key, baseline) fresh =
               metrics-off)"
              key now)
       else None
+    else if key = "churn/adversarial-kar-ff-gap" then
+      (* Sign-and-margin floor, not baseline-relative: KAR must keep
+         out-delivering fast failover under the canonical adversarial
+         schedule.  A collapse to ~0 means the adversary no longer tells
+         the techniques apart (or KAR lost its edge). *)
+      if now < 0.05 then
+        Some
+          (Printf.sprintf
+             "%s: %.3f (KAR's delivery edge over fast failover under the \
+              adversarial schedule collapsed below 0.05)"
+             key now)
+      else None
+    else if starts_with ~prefix:"churn/" key then
+      (* Deterministic in (topology, spec, seed): an absolute delivery
+         drop is a behaviour change in the scenario engine, a baseline,
+         or the simulator — never machine noise. *)
+      if now < baseline -. 0.10 then
+        Some
+          (Printf.sprintf
+             "%s: %.3f -> %.3f (delivery under churn dropped by more than \
+              0.10)"
+             key baseline now)
+      else None
     else if key = "svc/hit-ratio" then
       (* Deterministic in the workload: an absolute drop means the cache,
          the epochs, or the generator changed behaviour. *)
@@ -848,13 +928,15 @@ let measure_all ~quota ~packets =
   List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) svc;
   let verify = verify_entries () in
   List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) verify;
+  let scen = scenario_entries () in
+  List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) scen;
   let obs = obs_entries ~packets in
   List.iter (fun (k, v) -> Printf.printf "%s: %.6g\n" k v) obs;
   print_newline ();
   kernels
   @ [ ("netsim/packets-per-sec", pps);
       ("gc/forward-minor-words-per-packet", words) ]
-  @ pool @ sharded @ svc @ verify @ obs
+  @ pool @ sharded @ svc @ verify @ scen @ obs
 
 let run_experiments () =
   let profile = Experiments.Profile.from_env () in

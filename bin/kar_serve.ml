@@ -1,11 +1,14 @@
 (* Command-line entry point for the online route-plan server: generate a
    seeded open-loop workload against a topology, serve it, and report
-   latency/cache/batching metrics.  Optionally fail (and repair) a link
-   mid-run to watch the epoch-invalidation replan storm, and dump the
-   deterministic event stream as JSONL. *)
+   latency/cache/batching metrics.  Topology events come from repeatable
+   --fail-at/--repair-at flags and/or a --scenario failure schedule
+   (flapping, regional, adversarial) — both compile to the same
+   Kar_scenario event stream — and the deterministic service event stream
+   can be dumped as JSONL. *)
 
 module Workload = Kar_service.Workload
 module Server = Kar_service.Server
+module Scenario = Kar_scenario
 
 type net =
   | Net15
@@ -58,6 +61,7 @@ let report_to_string (r : Server.report) =
       ("virtual makespan (s)", Printf.sprintf "%.3f" r.Server.makespan);
       ("virtual throughput (req/s)", Printf.sprintf "%.0f" r.Server.virtual_rps);
       ("cache hit ratio", Printf.sprintf "%.1f%%" (100.0 *. r.Server.hit_ratio));
+      ("stale-serve rate", Printf.sprintf "%.1f%%" (100.0 *. r.Server.stale_rate));
       ( "cache hits/misses/stale",
         Printf.sprintf "%d/%d/%d" r.Server.cache_hits r.Server.cache_misses
           r.Server.cache_stale );
@@ -78,8 +82,8 @@ let report_to_string (r : Server.report) =
     ]
 
 let run net requests rate skew seed levels cache_cap batch_size batch_delay
-    workers fail_at repair_at fail_link trace metrics metrics_every metrics_prom
-    jobs =
+    workers fail_ats repair_ats fail_link scenario trace metrics metrics_every
+    metrics_prom jobs =
   Util.Pool.set_jobs (if jobs > 0 then jobs else Util.Pool.default_jobs ());
   let graph, failure_cases = graph_of_net net in
   let spec =
@@ -102,10 +106,25 @@ let run net requests rate skew seed levels cache_cap batch_size batch_delay
       workers;
     }
   in
-  let failures =
-    match fail_at with
-    | None -> []
-    | Some t ->
+  (* Both event sources compile to one Kar_scenario stream: the repeatable
+     --fail-at/--repair-at flags become a degenerate explicit-events
+     scenario, --scenario generates its model over the arrival horizon,
+     and the merged normalized stream is the server's failure schedule. *)
+  let horizon =
+    let n = Array.length reqs in
+    if n = 0 then 1.0 else Stdlib.max 1e-6 reqs.(n - 1).Workload.arrival
+  in
+  let gen spec =
+    match Scenario.Gen.generate graph ~horizon spec with
+    | Ok evs -> evs
+    | Error e ->
+      Printf.eprintf "scenario: %s\n" e;
+      exit 1
+  in
+  let explicit_events =
+    match (fail_ats, repair_ats) with
+    | [], [] -> []
+    | _ ->
       let link =
         match fail_link with
         | Some l when l >= 0 && l < Topo.Graph.n_links graph -> l
@@ -117,9 +136,30 @@ let run net requests rate skew seed levels cache_cap batch_size batch_delay
            | fc :: _ -> fc.Topo.Nets.link
            | [] -> Experiments.Service.storm_link graph)
       in
-      (t, `Fail link)
-      :: (match repair_at with Some t' -> [ (t', `Repair link) ] | None -> [])
+      gen
+        (Scenario.Spec.Events
+           (List.map
+              (fun t -> (t, Scenario.Event.Fail, Scenario.Spec.Id link))
+              fail_ats
+           @ List.map
+               (fun t -> (t, Scenario.Event.Repair, Scenario.Spec.Id link))
+               repair_ats))
   in
+  let scenario_events =
+    match scenario with
+    | None -> []
+    | Some s ->
+      (match Scenario.Spec.parse s with
+       | Ok spec -> gen spec
+       | Error e ->
+         Printf.eprintf "scenario: %s\n" e;
+         exit 1)
+  in
+  let events = Scenario.Event.normalize (explicit_events @ scenario_events) in
+  if events <> [] then
+    Printf.printf "scenario: %d topology events over %.3f s\n"
+      (List.length events) horizon;
+  let failures = Scenario.Event.to_failures events in
   let trace_out = Option.map open_out trace in
   let sink =
     match trace_out with
@@ -219,17 +259,31 @@ let workers_arg =
   Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
 
 let fail_at_arg =
-  let doc = "Fail a link at this virtual time (epoch bump + replan storm)." in
-  Arg.(value & opt (some float) None & info [ "fail-at" ] ~docv:"T" ~doc)
+  let doc = "Fail a link at this virtual time (epoch bump + replan storm). \
+             Repeatable." in
+  Arg.(value & opt_all float [] & info [ "fail-at" ] ~docv:"T" ~doc)
 
 let repair_at_arg =
-  let doc = "Repair the failed link at this virtual time." in
-  Arg.(value & opt (some float) None & info [ "repair-at" ] ~docv:"T" ~doc)
+  let doc = "Repair the failed link at this virtual time.  Repeatable." in
+  Arg.(value & opt_all float [] & info [ "repair-at" ] ~docv:"T" ~doc)
 
 let fail_link_arg =
-  let doc = "Link id to fail (default: the scenario's first failure case, \
-             or a popular core link on generated topologies)." in
+  let doc = "Link id the --fail-at/--repair-at flags act on (default: the \
+             topology's first failure case, or a popular core link on \
+             generated topologies)." in
   Arg.(value & opt (some int) None & info [ "fail-link" ] ~docv:"LINK" ~doc)
+
+let scenario_arg =
+  let doc = "Failure schedule applied during the run: \
+             $(b,flap:links=N,period=S,duty=D,seed=K), \
+             $(b,regional:groups=N,mtbf=S,mttr=S,seed=K), \
+             $(b,adversarial:k=N,period=S,hold=S,level=L) or \
+             $(b,events:fail@T=A-B,repair@T=#ID,...).  Generated over the \
+             workload's arrival horizon and merged with any \
+             --fail-at/--repair-at events." in
+  Arg.(value
+       & opt (some string) None
+       & info [ "scenario" ] ~docv:"SPEC" ~doc)
 
 let trace_arg =
   let doc = "Write the deterministic service event stream to $(docv) as JSONL." in
@@ -267,7 +321,7 @@ let cmd =
     Term.(
       const run $ net_arg $ requests_arg $ rate_arg $ skew_arg $ seed_arg
       $ levels_arg $ cache_arg $ batch_size_arg $ batch_delay_arg $ workers_arg
-      $ fail_at_arg $ repair_at_arg $ fail_link_arg $ trace_arg $ metrics_arg
-      $ metrics_every_arg $ metrics_prom_arg $ jobs_arg)
+      $ fail_at_arg $ repair_at_arg $ fail_link_arg $ scenario_arg $ trace_arg
+      $ metrics_arg $ metrics_every_arg $ metrics_prom_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -58,7 +58,7 @@ let print_stats g net =
     end
   done
 
-let run topo src_label dst_label policy fail fail_at fail_for duration
+let run topo src_label dst_label policy fail fail_at fail_for scenario duration
     protect_bits seed regions jobs trace_file trace_format stats metrics
     metrics_prom check_invariants =
   Option.iter Util.Pool.set_jobs jobs;
@@ -151,6 +151,31 @@ let run topo src_label dst_label policy fail fail_at fail_for duration
            | None ->
              Printf.eprintf "warning: SW%d-SW%d is not a link; no failure scheduled\n" a b)
         | None -> ());
+       (* --scenario: a generated failure schedule rides alongside any
+          --fail link.  The event stream is armed as admin actions, which
+          apply at sharded-region barriers, so solo and --regions R runs
+          see byte-identical topology churn. *)
+       (match scenario with
+        | None -> ()
+        | Some s ->
+          let events =
+            match Kar_scenario.Spec.parse s with
+            | Error e ->
+              Printf.eprintf "scenario: %s\n" e;
+              exit 1
+            | Ok spec ->
+              (match
+                 Kar_scenario.Gen.generate g ~horizon:duration
+                   ~pairs:[ (src, dst) ] spec
+               with
+               | Error e ->
+                 Printf.eprintf "scenario: %s\n" e;
+                 exit 1
+               | Ok evs -> evs)
+          in
+          Kar_scenario.Driver.arm net events;
+          Printf.printf "scenario: %d topology events over %g s\n"
+            (List.length events) duration);
        Netsim.Net.run_until net duration;
        (* The recorder may hold a buffered tie group at the cut-off;
           settle it before any sink output is consumed. *)
@@ -299,6 +324,15 @@ let sim_term =
   let fail_for =
     Arg.(value & opt float 3.0 & info [ "fail-for" ] ~docv:"S" ~doc:"Failure duration.")
   in
+  let scenario =
+    Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"SPEC"
+           ~doc:"Failure schedule applied during the run: \
+                 $(b,flap:links=N,period=S,duty=D,seed=K), \
+                 $(b,regional:groups=N,mtbf=S,mttr=S,seed=K), \
+                 $(b,adversarial:k=N,period=S,hold=S,level=L) or \
+                 $(b,events:fail\\@T=A-B,...).  Applied at region barriers, \
+                 so results are identical at any $(b,--regions)/$(b,-j).")
+  in
   let duration =
     Arg.(value & opt float 9.0 & info [ "duration" ] ~docv:"S" ~doc:"Total simulated time.")
   in
@@ -360,7 +394,7 @@ let sim_term =
   Term.(
     ret
       (const run $ topo $ src $ dst $ policy $ fail $ fail_at $ fail_for
-      $ duration $ protect_bits $ seed $ regions $ jobs $ trace
+      $ scenario $ duration $ protect_bits $ seed $ regions $ jobs $ trace
       $ trace_format $ stats $ metrics $ metrics_prom $ check_invariants))
 
 let convert_cmd =

@@ -79,6 +79,11 @@ let groups =
             (fun _ -> Scaling.multipath_to_string ());
           e "multifail" "Beyond the paper: simultaneous multiple failures"
             (fun _ -> Multifailure.to_string ());
+          e "churn"
+            "Beyond the paper: KAR vs baselines under flapping, regional \
+             and adversarial failure schedules, both planes"
+            (fun p -> Churn.to_string ~profile:p ())
+            ~metrics:(fun p -> Churn.to_string ~profile:p ~metrics:true ());
         ];
     };
     {

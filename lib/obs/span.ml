@@ -5,6 +5,7 @@ type kind =
   | Verify_sweep
   | Snapshot
   | Epoch
+  | Scenario_event
 
 let kind_to_string = function
   | Plan_compile -> "plan-compile"
@@ -13,6 +14,7 @@ let kind_to_string = function
   | Verify_sweep -> "verify-sweep"
   | Snapshot -> "snapshot"
   | Epoch -> "epoch"
+  | Scenario_event -> "scenario-event"
 
 let tag_of_kind = function
   | Plan_compile -> 0
@@ -21,6 +23,7 @@ let tag_of_kind = function
   | Verify_sweep -> 3
   | Snapshot -> 4
   | Epoch -> 5
+  | Scenario_event -> 6
 
 let kind_of_tag = function
   | 0 -> Plan_compile
@@ -29,6 +32,7 @@ let kind_of_tag = function
   | 3 -> Verify_sweep
   | 4 -> Snapshot
   | 5 -> Epoch
+  | 6 -> Scenario_event
   | t -> invalid_arg (Printf.sprintf "Span: bad tag %d" t)
 
 (* record layout: [0] kind u8 | [1..8] detail i64 LE | [9..16] t0 bits LE
@@ -80,7 +84,7 @@ let span_to_jsonl s =
 let summary t =
   let kinds =
     [ Plan_compile; Batch_dispatch; Epoch_invalidate; Verify_sweep; Snapshot;
-      Epoch ]
+      Epoch; Scenario_event ]
   in
   let spans = contents t in
   let rows =

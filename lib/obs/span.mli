@@ -18,6 +18,9 @@ type kind =
   | Epoch
       (** one conservative-simulation epoch: virtual interval a sharded
           net ran between two region barriers; detail = epoch index *)
+  | Scenario_event
+      (** one scenario fail/repair event applied to a net
+          ({!Kar_scenario}); detail = link id *)
 
 val kind_to_string : kind -> string
 

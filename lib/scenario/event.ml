@@ -1,0 +1,48 @@
+module Graph = Topo.Graph
+
+type action = Fail | Repair
+
+type t = { at : float; action : action; link : Graph.link_id }
+
+let rank = function Repair -> 0 | Fail -> 1
+
+let compare a b =
+  match Float.compare a.at b.at with
+  | 0 ->
+    (match Int.compare (rank a.action) (rank b.action) with
+     | 0 -> Int.compare a.link b.link
+     | c -> c)
+  | c -> c
+
+let normalize evs = List.sort_uniq compare evs
+
+let action_to_string = function Fail -> "fail" | Repair -> "repair"
+
+let to_jsonl g e =
+  let l = Graph.link g e.link in
+  Printf.sprintf {|{"t":%.9g,"event":"%s","link":%d,"a":%d,"b":%d}|} e.at
+    (action_to_string e.action)
+    e.link
+    (Graph.label g l.Graph.ep0.Graph.node)
+    (Graph.label g l.Graph.ep1.Graph.node)
+
+let to_jsonl_lines g evs =
+  String.concat "" (List.map (fun e -> to_jsonl g e ^ "\n") evs)
+
+let to_failures evs =
+  List.map
+    (fun e ->
+      ( e.at,
+        match e.action with Fail -> `Fail e.link | Repair -> `Repair e.link ))
+    (normalize evs)
+
+let links_down evs ~at =
+  let down = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if e.at <= at then
+        match e.action with
+        | Fail -> Hashtbl.replace down e.link ()
+        | Repair -> Hashtbl.remove down e.link)
+    (normalize evs);
+  List.sort Int.compare (Hashtbl.fold (fun l () acc -> l :: acc) down [])

@@ -50,6 +50,8 @@ type t = {
   stale_completion_c : Registry.counter;
   max_depth_g : Registry.gauge;
   max_waiting_g : Registry.gauge;
+  topo_fail_c : Registry.counter;
+  topo_repair_c : Registry.counter;
   failed : (Graph.link_id, unit) Hashtbl.t;
   mutable ran : bool;
 }
@@ -64,12 +66,19 @@ let create ?(config = default_config) ?pool ?registry ~graph () =
   Registry.probe registry "svc/hit-ratio-bp" (fun () ->
       let total = Cache.hits cache + Cache.misses cache + Cache.stale cache in
       if total = 0 then 0 else Cache.hits cache * 10_000 / total);
+  (* stale-serve pressure as the same basis-point construction: lookups
+     that found an entry from a dead epoch, over all lookups *)
+  Registry.probe registry "svc/stale-rate-bp" (fun () ->
+      let total = Cache.hits cache + Cache.misses cache + Cache.stale cache in
+      if total = 0 then 0 else Cache.stale cache * 10_000 / total);
   (* explicit registration order: it is the snapshot column order *)
   let latency_h = Registry.histogram registry "svc/latency-ns" in
   let unroutable_c = Registry.counter registry "svc/unroutable" in
   let stale_completion_c = Registry.counter registry "svc/stale-completion" in
   let max_depth_g = Registry.gauge registry "svc/max-depth" in
   let max_waiting_g = Registry.gauge registry "svc/max-waiting" in
+  let topo_fail_c = Registry.counter registry "svc/topo-fail-events" in
+  let topo_repair_c = Registry.counter registry "svc/topo-repair-events" in
   {
     config;
     graph;
@@ -82,6 +91,8 @@ let create ?(config = default_config) ?pool ?registry ~graph () =
     stale_completion_c;
     max_depth_g;
     max_waiting_g;
+    topo_fail_c;
+    topo_repair_c;
     failed = Hashtbl.create 16;
     ran = false;
   }
@@ -90,10 +101,12 @@ let registry t = t.registry
 let spans t = t.spans
 
 let fail_link t l =
+  Registry.incr t.topo_fail_c;
   Hashtbl.replace t.failed l ();
   Cache.bump_epoch t.cache
 
 let repair_link t l =
+  Registry.incr t.topo_repair_c;
   Hashtbl.remove t.failed l;
   Cache.bump_epoch t.cache
 
@@ -164,6 +177,7 @@ type report = {
   cache_size : int;
   epoch : int;
   hit_ratio : float;
+  stale_rate : float;
   batches : int;
   planned : int;
   coalesced : int;
@@ -352,6 +366,9 @@ let run t ?(sink = fun _ -> ()) ?(failures = []) ?(keep_records = false)
     cache_size = Cache.size t.cache;
     epoch = Cache.epoch t.cache;
     hit_ratio = Cache.hit_ratio t.cache;
+    stale_rate =
+      (let total = Cache.hits t.cache + Cache.misses t.cache + Cache.stale t.cache in
+       if total = 0 then 0.0 else float_of_int (Cache.stale t.cache) /. float_of_int total);
     batches = Batcher.batches batcher;
     planned = Batcher.computed batcher;
     coalesced = Batcher.coalesced batcher;

@@ -106,6 +106,9 @@ type report = {
   cache_size : int;
   epoch : int;
   hit_ratio : float;
+  stale_rate : float;
+      (** stale lookups / all lookups — how often the cache answered with
+          an entry from a dead epoch and had to replan *)
   batches : int;
   planned : int; (** plans actually computed *)
   coalesced : int; (** requests that shared another request's plan *)

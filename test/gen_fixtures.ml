@@ -40,6 +40,15 @@ let () =
   close_out oc;
   Printf.printf "wrote %s (%d lines)\n" path
     (String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 contents);
+  (* the churn fixture is the canonical net15 flap event stream, already
+     rendered JSONL *)
+  let path = Filename.concat dir "churn_net15_flap.jsonl" in
+  let oc = open_out path in
+  let contents = Experiments.Churn.fixture_lines () in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s (%d lines)\n" path
+    (String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 contents);
   (* the verifier fixture is verdict + counterexample lines, already JSON *)
   let path = Filename.concat dir "verify_net15_k2.jsonl" in
   let oc = open_out path in

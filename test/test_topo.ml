@@ -384,10 +384,12 @@ let prop_partition_valid =
     QCheck2.Gen.(pair (1 -- 1000) (1 -- 6))
     (fun (seed, regions) ->
       let g =
-        match seed mod 3 with
+        match seed mod 5 with
         | 0 -> Gen.gnp ~n:14 ~p:0.35 ~seed
         | 1 -> Gen.waxman ~n:14 ~alpha:0.9 ~beta:0.5 ~seed
-        | _ -> Gen.torus ~w:4 ~h:4
+        | 2 -> Gen.torus ~w:4 ~h:4
+        | 3 -> Nets.net15.Nets.graph
+        | _ -> Nets.rnp28.Nets.graph
       in
       let regions = min regions (Graph.n_nodes g) in
       let p = Topo.Partition.make g ~regions in
